@@ -1,0 +1,80 @@
+//! Ablation — `for-each` chunk size (§3.5 / §5 future work).
+//!
+//! "Optionally, for-each may group the values into 'chunks' which may
+//! then be handled in a locally-parallel fashion, for a combination of
+//! distributed and local concurrency." §5 lists dynamic chunk-size
+//! optimization as future work; this ablation shows why: tiny chunks pay
+//! per-fiber persistence/messaging overhead, huge chunks forfeit
+//! distribution. The sweet spot sits in between.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gozer::{GozerSystem, Value, VinzConfig};
+use gozer_bench::Series;
+
+const WORKFLOW: &str = "
+(defun unchunked (items)
+  (for-each (x in items) (progn (sleep-millis 1) (* x x))))
+
+(defun chunked-2 (items)
+  (for-each (x in items :chunk-size 2) (progn (sleep-millis 1) (* x x))))
+
+(defun chunked-8 (items)
+  (for-each (x in items :chunk-size 8) (progn (sleep-millis 1) (* x x))))
+
+(defun chunked-32 (items)
+  (for-each (x in items :chunk-size 32) (progn (sleep-millis 1) (* x x))))
+";
+
+fn bench_chunking(c: &mut Criterion) {
+    let mut config = VinzConfig::default();
+    config.spawn_limit = 8;
+    config.future_pool_size = 4;
+    let sys = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .config(config)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+    let items = Value::list((0..32).map(Value::Int).collect());
+    let expected = Value::list((0..32).map(|i| Value::Int(i * i)).collect());
+
+    // Narrative series: one run each, with fiber counts.
+    let mut series = Series::new(
+        "ablation — for-each chunk size (32 items, 1 ms body)",
+        "variant",
+        &["wall ms", "fibers"],
+    );
+    for f in ["unchunked", "chunked-2", "chunked-8", "chunked-32"] {
+        let t0 = Instant::now();
+        let task = sys
+            .workflow
+            .start(f, vec![items.clone()], None)
+            .unwrap();
+        let rec = sys.wait(&task, Duration::from_secs(300)).unwrap();
+        let wall = t0.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(rec.status, gozer::TaskStatus::Completed(expected.clone()));
+        series.point(f, &[wall, rec.fibers_created as f64]);
+    }
+    series.print();
+
+    let mut group = c.benchmark_group("foreach_chunking");
+    group.sample_size(10);
+    for f in ["unchunked", "chunked-8", "chunked-32"] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, f| {
+            b.iter(|| {
+                let v = sys
+                    .call(f, vec![items.clone()], Duration::from_secs(300))
+                    .unwrap();
+                assert_eq!(v, expected);
+            })
+        });
+    }
+    group.finish();
+    sys.shutdown();
+}
+
+criterion_group!(benches, bench_chunking);
+criterion_main!(benches);

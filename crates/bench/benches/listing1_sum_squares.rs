@@ -1,0 +1,85 @@
+//! E1 — Listing 1: the three sum-of-squares variants.
+//!
+//! Reproduces the paper's opening example as a measurement: sequential
+//! `loc-sum-squares`, future-based `par-sum-squares` (local parallelism,
+//! §2) and `for-each`-based `dist-sum-squares` (distributed fibers, §3.5).
+//! Expected shape: local < parallel < distributed in per-call overhead —
+//! the point of the listing is identical *code shape*, not identical
+//! cost; distribution buys robustness and scale-out, not latency, for a
+//! trivial body.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gozer::{GozerSystem, Gvm, Value};
+
+const LOCAL_SRC: &str = "
+(defun loc-sum-squares (numbers)
+  (apply #'+
+         (loop for number in numbers
+               collect (* number number))))
+(defun par-sum-squares (numbers)
+  (apply #'+
+         (loop for number in numbers
+               collect (future (* number number)))))
+";
+
+const DIST_SRC: &str = "
+(defun dist-sum-squares (numbers)
+  (apply #'+
+         (for-each (number in numbers)
+           (* number number))))
+";
+
+fn bench_listing1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("listing1_sum_squares");
+    group.sample_size(10);
+
+    let gvm = Gvm::new();
+    gvm.load_str(LOCAL_SRC, "listing1").unwrap();
+    let system = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .workflow(DIST_SRC)
+        .build()
+        .unwrap();
+
+    for n in [16i64, 64] {
+        let numbers = Value::list((1..=n).map(Value::Int).collect());
+        let expected = Value::Int((1..=n).map(|x| x * x).sum());
+
+        let loc = gvm.function("loc-sum-squares").unwrap();
+        group.bench_with_input(BenchmarkId::new("loc", n), &n, |b, _| {
+            b.iter(|| {
+                let v = gvm.call_sync(&loc, vec![numbers.clone()]).unwrap();
+                assert_eq!(v, expected);
+            })
+        });
+
+        let par = gvm.function("par-sum-squares").unwrap();
+        group.bench_with_input(BenchmarkId::new("par", n), &n, |b, _| {
+            b.iter(|| {
+                let v = gvm.call_sync(&par, vec![numbers.clone()]).unwrap();
+                assert_eq!(v, expected);
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("dist", n), &n, |b, _| {
+            b.iter(|| {
+                let v = system
+                    .call(
+                        "dist-sum-squares",
+                        vec![numbers.clone()],
+                        Duration::from_secs(120),
+                    )
+                    .unwrap();
+                assert_eq!(v, expected);
+            })
+        });
+    }
+    group.finish();
+    system.shutdown();
+}
+
+criterion_group!(benches, bench_listing1);
+criterion_main!(benches);

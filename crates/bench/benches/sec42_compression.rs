@@ -1,0 +1,90 @@
+//! E4 — §4.2 serialization & compression study.
+//!
+//! The paper: "compressing the serialized data before writing it to NFS
+//! was a net win by reducing IO costs considerably ... plain deflate can
+//! be made to perform approximately 30% better than the more robust and
+//! space-efficient gzip format for this data."
+//!
+//! This bench measures persist cost (serialize + compress + simulated
+//! NFS write) for raw/deflate/gzip over realistic fiber states of three
+//! sizes, and prints the size table. Expected shape: with IO cost
+//! modeled, Deflate beats None (the "net win"); Deflate beats Gzip
+//! (framing + CRC overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gozer::Codec;
+use gozer_bench::{suspended_state, workflow_gvm, Table};
+use gozer_serial::serialize_state;
+use vinz::{MemStore, StateStore};
+
+fn bench_compression(c: &mut Criterion) {
+    let gvm = workflow_gvm();
+    let sizes = [("small", 10i64), ("medium", 100), ("large", 600)];
+
+    // Print the size/ratio table (the paper's qualitative claims).
+    let mut table = Table::new(
+        "sec4.2 — persisted fiber state size by codec",
+        &["state", "raw B", "deflate B", "gzip B", "deflate ratio", "gzip-vs-deflate"],
+    );
+    for (label, n) in sizes {
+        let state = suspended_state(&gvm, n);
+        let raw = serialize_state(&state, Codec::None).unwrap().len();
+        let defl = serialize_state(&state, Codec::Deflate).unwrap().len();
+        let gz = serialize_state(&state, Codec::Gzip).unwrap().len();
+        table.row(&[
+            label.to_string(),
+            raw.to_string(),
+            defl.to_string(),
+            gz.to_string(),
+            format!("{:.2}x", raw as f64 / defl as f64),
+            format!("+{} B", gz - defl),
+        ]);
+    }
+    table.print();
+
+    // Simulated NFS: 60 ns/byte write cost (~16 MB/s effective — typical
+    // for 2009-era NFS with synchronous writes), the regime where the
+    // paper found compression "a net win by reducing IO costs
+    // considerably".
+    let store = MemStore::with_io_latency(60);
+    let mut group = c.benchmark_group("sec42_persist");
+    group.sample_size(20);
+    for (label, n) in sizes {
+        let state = suspended_state(&gvm, n);
+        for codec in [Codec::None, Codec::Deflate, Codec::Gzip] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{codec:?}"), label),
+                &codec,
+                |b, codec| {
+                    b.iter(|| {
+                        let bytes = serialize_state(&state, *codec).unwrap();
+                        store.put("fiber/bench", &bytes).unwrap();
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Reconstitution (the paper: "reconstituting a fiber from its
+    // persisted state is still relatively slow" — motivating the cache).
+    let mut group = c.benchmark_group("sec42_reconstitute");
+    group.sample_size(20);
+    for (label, n) in sizes {
+        let state = suspended_state(&gvm, n);
+        for codec in [Codec::None, Codec::Deflate, Codec::Gzip] {
+            let bytes = serialize_state(&state, codec).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{codec:?}"), label),
+                &bytes,
+                |b, bytes| {
+                    b.iter(|| gozer_serial::deserialize_state(bytes, &gvm).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E7 — §5 spawn-limit behaviour.
+//!
+//! Two pathologies the paper analyzes:
+//!
+//! * **High limit** (or none): all children finish around the same time
+//!   and their AwakeFiber messages convoy on the parent's fiber lock —
+//!   "for some period of time all n instances will be unavailable to
+//!   process other activity". Symptom: AwakeFiber lock-wait give-ups
+//!   (`awake_retries`).
+//! * **Low limit**: "the overhead of sending an AwakeFiber message for
+//!   permission to spawn the next child seems high" — the run serializes
+//!   and wall-clock stretches.
+//!
+//! The bench sweeps the limit and reports wall time; the awake-retry
+//! counts per limit print as a series.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gozer::{GozerSystem, Value, VinzConfig};
+use gozer_bench::Series;
+
+const WORKFLOW: &str = "
+(defun main (n)
+  (for-each (i in (range n))
+    (progn (sleep-millis 2) (* i i))))
+";
+
+fn system_with_limit(limit: usize) -> GozerSystem {
+    let mut config = VinzConfig::default();
+    config.spawn_limit = limit;
+    config.awake_wait_limit = Duration::from_millis(2);
+    GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .config(config)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap()
+}
+
+fn bench_spawn_limit(c: &mut Criterion) {
+    let children = 24i64;
+    let limits = [1usize, 2, 4, 8, 64];
+
+    // Series: one full run per limit, reporting wall ms and awake
+    // retries.
+    let mut series = Series::new(
+        "sec5 — spawn-limit sweep (24 children, 4 instances)",
+        "limit",
+        &["wall ms", "awake retries", "persists"],
+    );
+    for limit in limits {
+        let sys = system_with_limit(limit);
+        let t0 = Instant::now();
+        let v = sys
+            .call("main", vec![Value::Int(children)], Duration::from_secs(300))
+            .unwrap();
+        assert_eq!(v.as_list().unwrap().len(), children as usize);
+        let wall = t0.elapsed().as_secs_f64() * 1000.0;
+        let m = sys.workflow.metrics();
+        series.point(
+            limit,
+            &[
+                wall,
+                m.awake_retries.load(std::sync::atomic::Ordering::Relaxed) as f64,
+                m.persist_count.load(std::sync::atomic::Ordering::Relaxed) as f64,
+            ],
+        );
+        sys.shutdown();
+    }
+    series.print();
+
+    // Criterion timing at the interesting points of the sweep.
+    let mut group = c.benchmark_group("sec5_spawn_limit");
+    group.sample_size(10);
+    for limit in [1usize, 8, 64] {
+        let sys = system_with_limit(limit);
+        group.bench_with_input(BenchmarkId::new("for-each", limit), &limit, |b, _| {
+            b.iter(|| {
+                sys.call("main", vec![Value::Int(children)], Duration::from_secs(300))
+                    .unwrap()
+            })
+        });
+        sys.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spawn_limit);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! E2 — Table 1: latency of each Vinz service operation.
+//!
+//! `Start` measures the accept path (create task + persist the initial
+//! continuation + enqueue RunFiber); the others measure the full
+//! operation including the fiber work they trigger: a trivial task
+//! exercises `Run`/`Call`/`RunFiber`; a fork/join task exercises
+//! `JoinProcess`; a `for-each` task exercises `AwakeFiber`; a deflink
+//! service call exercises `ResumeFromCall`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gozer::{Cluster, GozerSystem, Value};
+
+const WORKFLOW: &str = "
+(deflink SQ :wsdl \"urn:sq\" :port \"Sq\")
+
+(defun trivial () 42)
+
+(defun forker ()
+  (join-process (fork-and-exec (lambda () 7))))
+
+(defun fanout ()
+  (for-each (i in (list 1 2)) i))
+
+(defun remote-call ()
+  (SQ-Square-Method :n 9))
+";
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn bench_table1(c: &mut Criterion) {
+    let cluster = Cluster::new();
+    gozer::testing::register_square_service(&cluster, "Sq", 2, 1, Duration::ZERO);
+    let sys = GozerSystem::builder()
+        .cluster(cluster)
+        .nodes(2)
+        .instances_per_node(3)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+
+    let mut group = c.benchmark_group("table1_operations");
+    group.sample_size(20);
+
+    // Start: async accept only (the task completes in the background;
+    // tasks pile up harmlessly in the tracker).
+    group.bench_function("Start", |b| {
+        b.iter(|| sys.workflow.start("trivial", vec![], None).unwrap())
+    });
+    // Run + Call + RunFiber: full lifecycle of a trivial task.
+    group.bench_function("Run+RunFiber (trivial task)", |b| {
+        b.iter(|| {
+            let rec = sys.workflow.run("trivial", vec![], TIMEOUT).unwrap();
+            assert!(rec.status.is_final());
+        })
+    });
+    group.bench_function("Call (trivial task)", |b| {
+        b.iter(|| {
+            let v = sys.call("trivial", vec![], TIMEOUT).unwrap();
+            assert_eq!(v, Value::Int(42));
+        })
+    });
+    // JoinProcess via fork/join.
+    group.bench_function("JoinProcess (fork+join)", |b| {
+        b.iter(|| {
+            let v = sys.call("forker", vec![], TIMEOUT).unwrap();
+            assert_eq!(v, Value::Int(7));
+        })
+    });
+    // AwakeFiber via a 2-way for-each (two awakes per run).
+    group.bench_function("AwakeFiber (for-each of 2)", |b| {
+        b.iter(|| {
+            let v = sys.call("fanout", vec![], TIMEOUT).unwrap();
+            assert_eq!(v, Value::list(vec![Value::Int(1), Value::Int(2)]));
+        })
+    });
+    // ResumeFromCall via a non-blocking service call.
+    group.bench_function("ResumeFromCall (service call)", |b| {
+        b.iter(|| {
+            let v = sys.call("remote-call", vec![], TIMEOUT).unwrap();
+            assert_eq!(v, Value::Int(81));
+        })
+    });
+    // Terminate: start a long task, terminate it, wait for the final
+    // status.
+    group.bench_function("Terminate", |b| {
+        b.iter(|| {
+            let task = sys.workflow.start("fanout", vec![], None).unwrap();
+            sys.workflow.terminate(&task);
+            sys.wait(&task, TIMEOUT).unwrap();
+        })
+    });
+    group.finish();
+    sys.shutdown();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

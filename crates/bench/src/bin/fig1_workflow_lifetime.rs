@@ -1,0 +1,55 @@
+//! Figure 1 — "Sample Workflow Lifetime", as a harness binary: run a
+//! workflow that makes one non-blocking service call and forks two
+//! children, then print the full recorded lifetime.
+//!
+//! ```bash
+//! cargo run --release -p gozer-bench --bin fig1_workflow_lifetime
+//! ```
+
+use std::time::Duration;
+
+use gozer::testing::register_square_service;
+use gozer::{Cluster, GozerSystem, TraceKind, Value};
+
+const WORKFLOW: &str = "
+(deflink SQ :wsdl \"urn:sq\" :port \"Sq\")
+
+(defun main (n)
+  (let ((base (SQ-Square-Method :n n)))
+    (apply #'+ (for-each (i in (list 1 2))
+                 (* base i)))))
+";
+
+fn main() {
+    let cluster = Cluster::new();
+    register_square_service(&cluster, "Sq", 1, 1, Duration::from_millis(2));
+    let sys = GozerSystem::builder()
+        .cluster(cluster)
+        .nodes(2)
+        .instances_per_node(2)
+        .workflow(WORKFLOW)
+        .build()
+        .expect("deploy");
+    sys.workflow.set_tracing(true);
+
+    let v = sys
+        .call("main", vec![Value::Int(3)], Duration::from_secs(60))
+        .expect("workflow");
+    assert_eq!(v, Value::Int(27)); // 9*1 + 9*2
+
+    println!("Figure 1 — sample workflow lifetime (result {v:?}):\n");
+    print!("{}", sys.workflow.trace().render());
+
+    let events = sys.workflow.trace().events();
+    let count = |f: &dyn Fn(&TraceKind) -> bool| events.iter().filter(|e| f(&e.kind)).count();
+    println!("\nsummary:");
+    println!("  RunFiber deliveries : {}", count(&|k| matches!(k, TraceKind::RunFiber)));
+    println!("  suspensions         : {}", count(&|k| matches!(k, TraceKind::Yield(_))));
+    println!("  persists            : {}", count(&|k| matches!(k, TraceKind::Persist(_))));
+    println!("  forks               : {}", count(&|k| matches!(k, TraceKind::Fork(_))));
+    println!(
+        "  resumes             : {}",
+        count(&|k| matches!(k, TraceKind::Resume(_)))
+    );
+    sys.shutdown();
+}

@@ -1,0 +1,92 @@
+//! E5 — §4.2 fiber-cache effectiveness.
+//!
+//! The paper: "a cache of recently seen fibers is maintained in memory on
+//! each instance. Because Vinz executes no control over where a fiber
+//! will be asked to run ..., the cache is only somewhat effective.
+//! Empirical measurements show cache hit rates of about 18% and 66% for
+//! mutable and immutable data, respectively."
+//!
+//! This harness runs a population of fan-out workflows across a cluster
+//! whose queue freely load-balances, then reports the per-node cache hit
+//! rates: mutable = fiber continuations (version-checked), immutable =
+//! task definitions and child results. Expected shape: mutable rate low
+//! (≈1/nodes — random placement), immutable rate several times higher.
+//!
+//! ```bash
+//! cargo run --release -p gozer-bench --bin sec42_cache
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use gozer::{GozerSystem, Value, VinzConfig};
+use gozer_bench::Table;
+
+const WORKFLOW: &str = "
+(defun main (n)
+  ;; Several sequential distribution rounds so the parent fiber is
+  ;; reloaded many times on queue-chosen instances.
+  (let ((a (for-each (i in (range n)) (* i 2)))
+        (b (for-each (i in (range n)) (* i 3))))
+    (+ (apply #'+ a) (apply #'+ b))))
+";
+
+fn run(nodes: u32) -> (f64, f64) {
+    let mut config = VinzConfig::default();
+    config.spawn_limit = 4;
+    // A bounded cache, as in production: eviction matters once many
+    // tasks are in flight at once.
+    config.cache_capacity = 64;
+    let sys = GozerSystem::builder()
+        .nodes(nodes)
+        .instances_per_node(2)
+        .config(config)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+    // Launch the whole population concurrently so the queue load-balances
+    // steps of many fibers across all nodes (the regime the paper
+    // measured, where "Vinz executes no control over where a fiber will
+    // be asked to run").
+    let tasks: Vec<String> = (0..24)
+        .map(|_| sys.workflow.start("main", vec![Value::Int(6)], None).unwrap())
+        .collect();
+    for task in &tasks {
+        sys.wait(task, Duration::from_secs(300)).expect("completes");
+    }
+    let (mut mh, mut mm, mut ih, mut im) = (0u64, 0u64, 0u64, 0u64);
+    for rt in sys.workflow.node_runtimes() {
+        mh += rt.cache.mutable_stats.hits.load(Ordering::Relaxed);
+        mm += rt.cache.mutable_stats.misses.load(Ordering::Relaxed);
+        ih += rt.cache.immutable_stats.hits.load(Ordering::Relaxed);
+        im += rt.cache.immutable_stats.misses.load(Ordering::Relaxed);
+    }
+    sys.shutdown();
+    (
+        mh as f64 / (mh + mm).max(1) as f64,
+        ih as f64 / (ih + im).max(1) as f64,
+    )
+}
+
+fn main() {
+    let mut table = Table::new(
+        "sec4.2 — fiber cache hit rates (paper: 18% mutable / 66% immutable)",
+        &["nodes", "mutable hit rate", "immutable hit rate"],
+    );
+    for nodes in [2u32, 4, 8] {
+        let (mutable, immutable) = run(nodes);
+        table.row(&[
+            nodes.to_string(),
+            format!("{:.1}%", mutable * 100.0),
+            format!("{:.1}%", immutable * 100.0),
+        ]);
+        assert!(
+            immutable > mutable,
+            "immutable data should cache better than mutable fiber state"
+        );
+    }
+    table.print();
+    println!(
+        "shape check: immutable rate exceeds mutable rate at every cluster size, as in the paper."
+    );
+}

@@ -1,0 +1,134 @@
+//! E6 — §5 production statistics.
+//!
+//! First regenerates the paper's aggregate numbers from the calibrated
+//! generator (10,000 tasks, ~45,000 fibers, 20 ms – 12 h range, ~1 min
+//! mean, ~190 h serial), then executes a time-scaled subset of the day on
+//! the simulated cluster and reports the achieved concurrency.
+//!
+//! ```bash
+//! cargo run --release -p gozer-bench --bin sec5_production_day
+//! ```
+
+use std::time::{Duration, Instant};
+
+use gozer::{GozerSystem, TaskStatus, Value, VinzConfig};
+use gozer_bench::{production_day, Table};
+
+const WORKFLOW: &str = "
+(defun main (total-ms fibers)
+  ;; A task that burns its busy time across its fibers, like a pricing
+  ;; batch fanned out over positions.
+  (let ((per-fiber (/ total-ms (max 1 fibers))))
+    (if (<= fibers 1)
+        (progn (sleep-millis per-fiber) :single)
+        (for-each (i in (range fibers))
+          (progn (sleep-millis per-fiber) i)))))
+";
+
+fn main() {
+    // ---- the paper's aggregates, regenerated --------------------------
+    let (_, stats) = production_day(10_000, 1.0, false, 2010);
+    let mut t = Table::new(
+        "sec5 — synthetic production day vs paper",
+        &["metric", "paper", "generated"],
+    );
+    t.row(&["top-level tasks".into(), "10,000".into(), stats.tasks.to_string()]);
+    t.row(&["fibers".into(), "~45,000".into(), stats.fibers.to_string()]);
+    t.row(&[
+        "shortest task".into(),
+        "20 ms".into(),
+        format!("{:.0} ms", stats.min_secs * 1000.0),
+    ]);
+    t.row(&[
+        "longest task".into(),
+        "12 h".into(),
+        format!("{:.1} h", stats.max_secs / 3600.0),
+    ]);
+    t.row(&[
+        "mean duration".into(),
+        "~1 min".into(),
+        format!("{:.1} s", stats.mean_secs),
+    ]);
+    t.row(&[
+        "serial total".into(),
+        "~190 h".into(),
+        format!("{:.0} h", stats.serial_hours),
+    ]);
+    t.print();
+
+    // ---- execute a scaled slice on the cluster -------------------------
+    // 200 tasks at 1/5000 time scale: the 68 s mean becomes ~14 ms.
+    let scale = 1.0 / 5000.0;
+    let (specs, slice_stats) = production_day(200, scale, false, 7);
+    let mut config = VinzConfig::default();
+    config.spawn_limit = 8;
+    let sys = GozerSystem::builder()
+        .nodes(4)
+        .instances_per_node(4)
+        .config(config)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+
+    let t0 = Instant::now();
+    let tasks: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            sys.workflow
+                .start(
+                    "main",
+                    vec![
+                        Value::Float(spec.duration.as_secs_f64() * 1000.0),
+                        Value::Int(spec.fibers as i64),
+                    ],
+                    None,
+                )
+                .unwrap()
+        })
+        .collect();
+    let mut completed = 0;
+    for task in &tasks {
+        let rec = sys
+            .wait(task, Duration::from_secs(600))
+            .expect("task finishes");
+        if matches!(rec.status, TaskStatus::Completed(_)) {
+            completed += 1;
+        }
+    }
+    let wall = t0.elapsed();
+    let serial: Duration = specs.iter().map(|s| s.duration).sum();
+
+    let fibers_created: u64 = sys
+        .workflow
+        .tracker()
+        .all()
+        .iter()
+        .map(|r| r.fibers_created)
+        .sum();
+    let m = sys.workflow.metrics();
+    let mut t = Table::new("sec5 — scaled slice executed on the cluster", &["metric", "value"]);
+    t.row(&["tasks run".into(), format!("{completed}/{}", specs.len())]);
+    t.row(&["fibers (spec)".into(), slice_stats.fibers.to_string()]);
+    t.row(&["fibers (created)".into(), fibers_created.to_string()]);
+    t.row(&["serial busy time".into(), format!("{serial:.2?}")]);
+    t.row(&["cluster wall time".into(), format!("{wall:.2?}")]);
+    t.row(&[
+        "effective concurrency".into(),
+        format!("{:.1}x", serial.as_secs_f64() / wall.as_secs_f64()),
+    ]);
+    t.row(&[
+        "continuations persisted".into(),
+        m.persist_count
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .to_string(),
+    ]);
+    t.row(&[
+        "persisted bytes".into(),
+        m.persist_bytes
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .to_string(),
+    ]);
+    t.print();
+    assert_eq!(completed, specs.len(), "every task must complete");
+    sys.shutdown();
+}

@@ -1,0 +1,12 @@
+//! Benchmark support library: synthetic workload generators calibrated to
+//! the paper's §5 production statistics, fiber-state builders for the
+//! §4.2 serialization experiments, and plain-text table/series reporting
+//! so each bench regenerates the corresponding table or figure.
+
+pub mod report;
+pub mod states;
+pub mod workload;
+
+pub use report::{Series, Table};
+pub use states::{suspended_state, workflow_gvm};
+pub use workload::{production_day, DayStats, TaskSpec};

@@ -1,0 +1,132 @@
+//! Plain-text table/series rendering, so every bench prints the rows the
+//! corresponding paper table/figure reports.
+
+/// A printable table.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a row (cells are displayed verbatim).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// A printable (x, y...) series — the textual form of a figure.
+pub struct Series {
+    title: String,
+    x_label: String,
+    y_labels: Vec<String>,
+    points: Vec<(String, Vec<f64>)>,
+}
+
+impl Series {
+    /// Start a series.
+    pub fn new(title: &str, x_label: &str, y_labels: &[&str]) -> Series {
+        Series {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_labels: y_labels.iter().map(|s| s.to_string()).collect(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Add a data point.
+    pub fn point(&mut self, x: impl ToString, ys: &[f64]) {
+        self.points.push((x.to_string(), ys.to_vec()));
+    }
+
+    /// Render as an aligned listing.
+    pub fn render(&self) -> String {
+        let mut headers: Vec<&str> = vec![self.x_label.as_str()];
+        headers.extend(self.y_labels.iter().map(String::as_str));
+        let mut t = Table::new(&self.title, &headers);
+        for (x, ys) in &self.points {
+            let mut cells = vec![x.clone()];
+            cells.extend(ys.iter().map(|y| format!("{y:.3}")));
+            t.row(&cells);
+        }
+        t.render()
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "10000".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows align on the value column.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find('1'), Some(col).map(|_| lines[3].find('1').unwrap()));
+    }
+
+    #[test]
+    fn series_renders_points() {
+        let mut s = Series::new("Fig", "x", &["y1", "y2"]);
+        s.point(1, &[0.5, 2.0]);
+        s.point(2, &[1.5, 4.0]);
+        let text = s.render();
+        assert!(text.contains("0.500"));
+        assert!(text.contains("4.000"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Synthetic production workload calibrated to the §5 statistics:
+//!
+//! > "A typical 24-hour period will see around 10,000 new top-level tasks
+//! > comprising about 45,000 individual fibers. Tasks during this period
+//! > may run for as long as 12 hours or as little as 20 milliseconds,
+//! > with the average being about a minute. If these 10,000 tasks were
+//! > run back-to-back, they would require about 190 hours to complete."
+//!
+//! 190 h / 10,000 tasks gives a 68.4 s mean with a 20 ms – 12 h range —
+//! a classic heavy-tailed (log-normal) shape; 45,000 fibers / 10,000
+//! tasks gives ≈4.5 fibers per task.
+
+use std::time::Duration;
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One synthetic top-level task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Total busy time of the task, already scaled for bench running.
+    pub duration: Duration,
+    /// Number of fibers the task fans out to (including the main fiber).
+    pub fibers: usize,
+    /// Relative deadline (used by the §5 scheduling experiment), scaled.
+    pub deadline: Option<Duration>,
+}
+
+/// Aggregates of a generated day, for checking the calibration.
+#[derive(Debug, Clone, Copy)]
+pub struct DayStats {
+    /// Task count.
+    pub tasks: usize,
+    /// Fiber count across all tasks.
+    pub fibers: usize,
+    /// Smallest task duration (unscaled seconds).
+    pub min_secs: f64,
+    /// Largest task duration (unscaled seconds).
+    pub max_secs: f64,
+    /// Mean task duration (unscaled seconds).
+    pub mean_secs: f64,
+    /// Total serial time (unscaled hours) — the paper's "190 hours".
+    pub serial_hours: f64,
+}
+
+/// Generate a scaled production day.
+///
+/// * `count` — number of tasks (paper: 10,000).
+/// * `scale` — multiply durations by this before returning (e.g. `1e-4`
+///   turns the 68 s mean into ~7 ms so a bench finishes).
+/// * `with_deadlines` — attach deadlines at 2–4× the task duration.
+pub fn production_day(
+    count: usize,
+    scale: f64,
+    with_deadlines: bool,
+    seed: u64,
+) -> (Vec<TaskSpec>, DayStats) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Log-normal: mean = exp(mu + sigma^2/2) = 68.4 s. With sigma = 2.0
+    // the body sits near a few seconds and the tail reaches hours, like
+    // a mixed interactive/batch population.
+    let sigma = 2.0f64;
+    let target_mean = 68.4f64;
+    let mu = target_mean.ln() - sigma * sigma / 2.0;
+    let normal = rand_distr_normal(mu, sigma);
+
+    let mut specs = Vec::with_capacity(count);
+    let mut total = 0.0f64;
+    let mut min_s = f64::MAX;
+    let mut max_s: f64 = 0.0;
+    let mut fibers_total = 0usize;
+    for _ in 0..count {
+        let mut secs = normal.sample(&mut rng).exp();
+        // The paper's observed range.
+        secs = secs.clamp(0.020, 12.0 * 3600.0);
+        total += secs;
+        min_s = min_s.min(secs);
+        max_s = max_s.max(secs);
+        // 1 main fiber + heavy-tailed fan-out averaging ~3.5 children.
+        let children = sample_fanout(&mut rng);
+        let fibers = 1 + children;
+        fibers_total += fibers;
+        let deadline = with_deadlines.then(|| {
+            let slack = rng.gen_range(2.0..4.0);
+            Duration::from_secs_f64(secs * slack * scale)
+        });
+        specs.push(TaskSpec {
+            duration: Duration::from_secs_f64(secs * scale),
+            fibers,
+            deadline,
+        });
+    }
+    let stats = DayStats {
+        tasks: count,
+        fibers: fibers_total,
+        min_secs: min_s,
+        max_secs: max_s,
+        mean_secs: total / count as f64,
+        serial_hours: total / 3600.0,
+    };
+    (specs, stats)
+}
+
+/// Children-per-task fan-out: 60% of tasks are single-fiber; the rest
+/// fan out geometrically. Calibrated to ≈3.5 children per task on
+/// average (≈4.5 fibers, matching 45k fibers / 10k tasks).
+fn sample_fanout(rng: &mut StdRng) -> usize {
+    if rng.gen_bool(0.6) {
+        return 0;
+    }
+    // Geometric with p chosen so the overall mean lands near 3.5:
+    // conditional mean must be 3.5/0.4 = 8.75 => p = 1/8.75.
+    let p = 1.0 / 8.75f64;
+    let mut n = 1;
+    while !rng.gen_bool(p) && n < 200 {
+        n += 1;
+    }
+    n
+}
+
+/// Minimal Box–Muller normal sampler (keeps us off `rand_distr`).
+struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+fn rand_distr_normal(mu: f64, sigma: f64) -> Normal {
+    Normal { mu, sigma }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_aggregates() {
+        let (specs, stats) = production_day(10_000, 1.0, false, 42);
+        assert_eq!(specs.len(), 10_000);
+        // ~45,000 fibers (±15%).
+        assert!(
+            (38_000..=52_000).contains(&stats.fibers),
+            "fibers = {}",
+            stats.fibers
+        );
+        // Mean about a minute (the clamp trims the tail a little).
+        assert!(
+            (30.0..=110.0).contains(&stats.mean_secs),
+            "mean = {}",
+            stats.mean_secs
+        );
+        // Serial total in the neighbourhood of 190 hours.
+        assert!(
+            (100.0..=280.0).contains(&stats.serial_hours),
+            "serial hours = {}",
+            stats.serial_hours
+        );
+        // Range endpoints.
+        assert!(stats.min_secs >= 0.020);
+        assert!(stats.max_secs <= 12.0 * 3600.0);
+        assert!(stats.max_secs > 3600.0, "tail should reach hours");
+    }
+
+    #[test]
+    fn scaling_and_deadlines() {
+        let (specs, _) = production_day(100, 1e-4, true, 7);
+        for s in &specs {
+            assert!(s.duration < Duration::from_secs(5));
+            let d = s.deadline.expect("deadline requested");
+            assert!(d >= s.duration, "deadline at least the duration");
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (a, _) = production_day(50, 1.0, false, 9);
+        let (b, _) = production_day(50, 1.0, false, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.duration, y.duration);
+            assert_eq!(x.fibers, y.fibers);
+        }
+    }
+}

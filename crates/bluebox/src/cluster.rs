@@ -1,0 +1,439 @@
+//! The cluster: broker, service registry, instances, failure injection.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Sender};
+use gozer_xml::ServiceDescription;
+use parking_lot::{Mutex, RwLock};
+
+use crate::message::{Fault, Message, ReplyTo};
+use crate::metrics::Metrics;
+use crate::queue::{Policy, ServiceQueue};
+
+/// A service operation handler. One handler object serves every instance
+/// of the service (instances are threads competing on the queue).
+pub trait Handler: Send + Sync {
+    /// Process one request; the reply body (possibly empty) or a fault.
+    fn handle(&self, ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, Fault>;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&ServiceCtx, &Message) -> Result<Vec<u8>, Fault> + Send + Sync,
+{
+    fn handle(&self, ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, Fault> {
+        self(ctx, msg)
+    }
+}
+
+/// Context handed to a handler invocation.
+pub struct ServiceCtx {
+    /// The cluster (for nested calls and sends).
+    pub cluster: Arc<Cluster>,
+    /// The node this instance runs on (fiber caches are per-node).
+    pub node_id: u32,
+    /// The instance id.
+    pub instance_id: u64,
+    /// The service name.
+    pub service: String,
+}
+
+/// Where an injected crash fires relative to message processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash after taking a message but before the handler runs; the
+    /// message is redelivered untouched.
+    BeforeProcess,
+    /// Crash after the handler ran but before the reply/ack: tests
+    /// idempotency under at-least-once delivery.
+    AfterProcess,
+}
+
+/// Errors from synchronous calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// The service replied with a fault.
+    Fault(Fault),
+    /// No reply within the timeout.
+    Timeout,
+    /// The cluster is shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Fault(fault) => write!(f, "fault: {fault}"),
+            CallError::Timeout => write!(f, "call timed out"),
+            CallError::Closed => write!(f, "cluster closed"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+struct ServiceEntry {
+    desc: Option<ServiceDescription>,
+    handler: Arc<dyn Handler>,
+}
+
+struct InstanceControl {
+    stop: AtomicBool,
+    crash: Mutex<Option<CrashPoint>>,
+    busy: AtomicBool,
+    alive: AtomicBool,
+}
+
+struct InstanceHandle {
+    id: u64,
+    node_id: u32,
+    service: String,
+    control: Arc<InstanceControl>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// The simulated BlueBox cluster.
+pub struct Cluster {
+    queues: RwLock<HashMap<String, Arc<ServiceQueue>>>,
+    services: RwLock<HashMap<String, ServiceEntry>>,
+    pending: Mutex<HashMap<u64, Sender<Result<Vec<u8>, Fault>>>>,
+    instances: Mutex<Vec<InstanceHandle>>,
+    next_msg_id: AtomicU64,
+    next_corr: AtomicU64,
+    next_instance: AtomicU64,
+    policy: Policy,
+    /// Broker metrics.
+    pub metrics: Metrics,
+}
+
+impl Cluster {
+    /// New cluster with FCFS queues (the production default, §5).
+    pub fn new() -> Arc<Cluster> {
+        Cluster::with_policy(Policy::Fcfs)
+    }
+
+    /// New cluster with the given queue scheduling policy.
+    pub fn with_policy(policy: Policy) -> Arc<Cluster> {
+        Arc::new(Cluster {
+            queues: RwLock::new(HashMap::new()),
+            services: RwLock::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            instances: Mutex::new(Vec::new()),
+            next_msg_id: AtomicU64::new(1),
+            next_corr: AtomicU64::new(1),
+            next_instance: AtomicU64::new(1),
+            policy,
+            metrics: Metrics::default(),
+        })
+    }
+
+    fn queue(&self, service: &str) -> Arc<ServiceQueue> {
+        if let Some(q) = self.queues.read().get(service) {
+            return q.clone();
+        }
+        let mut queues = self.queues.write();
+        queues
+            .entry(service.to_string())
+            .or_insert_with(|| Arc::new(ServiceQueue::new(self.policy)))
+            .clone()
+    }
+
+    /// Register a service: its interface document (what `deflink`
+    /// fetches) and the handler shared by all instances. Instances must
+    /// be spawned separately.
+    pub fn register_service(
+        &self,
+        name: &str,
+        desc: Option<ServiceDescription>,
+        handler: Arc<dyn Handler>,
+    ) {
+        self.services
+            .write()
+            .insert(name.to_string(), ServiceEntry { desc, handler });
+    }
+
+    /// Fetch a service's interface document.
+    pub fn wsdl(&self, service: &str) -> Option<ServiceDescription> {
+        self.services.read().get(service)?.desc.clone()
+    }
+
+    /// Spawn `count` instances of `service` on `node_id`. Returns their
+    /// instance ids.
+    pub fn spawn_instances(self: &Arc<Cluster>, service: &str, node_id: u32, count: usize) -> Vec<u64> {
+        let handler = self
+            .services
+            .read()
+            .get(service)
+            .map(|e| e.handler.clone())
+            .expect("service must be registered before spawning instances");
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = self.next_instance.fetch_add(1, Ordering::Relaxed);
+            ids.push(id);
+            let control = Arc::new(InstanceControl {
+                stop: AtomicBool::new(false),
+                crash: Mutex::new(None),
+                busy: AtomicBool::new(false),
+                alive: AtomicBool::new(true),
+            });
+            let queue = self.queue(service);
+            let ctx = ServiceCtx {
+                cluster: self.clone(),
+                node_id,
+                instance_id: id,
+                service: service.to_string(),
+            };
+            let thread_control = control.clone();
+            let thread_handler = handler.clone();
+            let thread = std::thread::Builder::new()
+                .name(format!("bb-{service}-{id}"))
+                .spawn(move || instance_loop(ctx, queue, thread_handler, thread_control))
+                .expect("spawn instance thread");
+            self.instances.lock().push(InstanceHandle {
+                id,
+                node_id,
+                service: service.to_string(),
+                control,
+                thread: Some(thread),
+            });
+        }
+        ids
+    }
+
+    /// Fire-and-forget send.
+    pub fn send(&self, mut msg: Message) {
+        msg.id = self.next_msg_id.fetch_add(1, Ordering::Relaxed);
+        msg.enqueued_at = Instant::now();
+        self.metrics.add(&self.metrics.sent, 1);
+        self.queue(&msg.service).push(msg);
+    }
+
+    /// Send a request whose reply is delivered as a fresh request to
+    /// `reply_service`/`reply_operation` — the `ResumeFromCall` pattern
+    /// of §3.2. Returns the correlation id stamped on the reply.
+    pub fn send_with_service_reply(
+        &self,
+        msg: Message,
+        reply_service: &str,
+        reply_operation: &str,
+    ) -> u64 {
+        let correlation = self.allocate_correlation();
+        self.send_with_service_reply_corr(msg, reply_service, reply_operation, correlation);
+        correlation
+    }
+
+    /// Reserve a correlation id without sending anything. Lets callers
+    /// durably record the correlation *before* the request goes out, so a
+    /// fast reply can never race the bookkeeping.
+    pub fn allocate_correlation(&self) -> u64 {
+        self.next_corr.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// [`send_with_service_reply`](Self::send_with_service_reply) with a
+    /// pre-allocated correlation id.
+    pub fn send_with_service_reply_corr(
+        &self,
+        mut msg: Message,
+        reply_service: &str,
+        reply_operation: &str,
+        correlation: u64,
+    ) {
+        msg.reply_to = ReplyTo::Service {
+            service: reply_service.to_string(),
+            operation: reply_operation.to_string(),
+            correlation,
+        };
+        self.send(msg);
+    }
+
+    /// Synchronous call: blocks the calling thread until the reply (the
+    /// traditional pattern whose wasted slot-time §3.2 quantifies).
+    pub fn call(&self, mut msg: Message, timeout: Duration) -> Result<Vec<u8>, CallError> {
+        let correlation = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(correlation, tx);
+        msg.reply_to = ReplyTo::Caller { correlation };
+        self.send(msg);
+        let started = Instant::now();
+        let result = rx.recv_timeout(timeout);
+        self.metrics.add(
+            &self.metrics.sync_block_nanos,
+            started.elapsed().as_nanos() as u64,
+        );
+        match result {
+            Ok(Ok(body)) => Ok(body),
+            Ok(Err(fault)) => Err(CallError::Fault(fault)),
+            Err(_) => {
+                self.pending.lock().remove(&correlation);
+                Err(CallError::Timeout)
+            }
+        }
+    }
+
+    fn route_reply(&self, reply_to: &ReplyTo, result: Result<Vec<u8>, Fault>) {
+        match reply_to {
+            ReplyTo::Nowhere => {
+                if result.is_err() {
+                    self.metrics.add(&self.metrics.faults, 1);
+                }
+            }
+            ReplyTo::Caller { correlation } => {
+                if result.is_err() {
+                    self.metrics.add(&self.metrics.faults, 1);
+                }
+                if let Some(tx) = self.pending.lock().remove(correlation) {
+                    let _ = tx.send(result);
+                }
+            }
+            ReplyTo::Service {
+                service,
+                operation,
+                correlation,
+            } => {
+                let mut reply = Message::new(service, operation, Vec::new())
+                    .header("correlation", correlation.to_string());
+                match result {
+                    Ok(body) => reply.body = body,
+                    Err(fault) => {
+                        self.metrics.add(&self.metrics.faults, 1);
+                        reply = reply
+                            .header("fault-code", fault.code)
+                            .header("fault-message", fault.message);
+                    }
+                }
+                self.send(reply);
+            }
+        }
+    }
+
+    /// Inject a crash into a specific instance.
+    pub fn kill_instance(&self, instance_id: u64, point: CrashPoint) {
+        let instances = self.instances.lock();
+        if let Some(h) = instances.iter().find(|h| h.id == instance_id) {
+            *h.control.crash.lock() = Some(point);
+        }
+    }
+
+    /// Crash every instance on a node.
+    pub fn kill_node(&self, node_id: u32, point: CrashPoint) {
+        let instances = self.instances.lock();
+        for h in instances.iter().filter(|h| h.node_id == node_id) {
+            *h.control.crash.lock() = Some(point);
+        }
+    }
+
+    /// Number of instances currently inside a handler.
+    pub fn busy_instances(&self, service: &str) -> usize {
+        self.instances
+            .lock()
+            .iter()
+            .filter(|h| h.service == service && h.control.busy.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Number of live (not crashed/stopped) instances of a service.
+    pub fn live_instances(&self, service: &str) -> usize {
+        self.instances
+            .lock()
+            .iter()
+            .filter(|h| h.service == service && h.control.alive.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Queue depth of a service.
+    pub fn queue_depth(&self, service: &str) -> usize {
+        self.queues
+            .read()
+            .get(service)
+            .map(|q| q.depth())
+            .unwrap_or(0)
+    }
+
+    /// Block until a service's queue is empty and all its instances are
+    /// idle, or the timeout expires. Returns whether it drained.
+    pub fn drain(&self, service: &str, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.queue_depth(service) == 0 && self.busy_instances(service) == 0 {
+                return true;
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Stop all instances and close all queues.
+    pub fn shutdown(&self) {
+        let mut instances = self.instances.lock();
+        for h in instances.iter() {
+            h.control.stop.store(true, Ordering::Relaxed);
+        }
+        for q in self.queues.read().values() {
+            q.close();
+        }
+        for h in instances.iter_mut() {
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+fn instance_loop(
+    ctx: ServiceCtx,
+    queue: Arc<ServiceQueue>,
+    handler: Arc<dyn Handler>,
+    control: Arc<InstanceControl>,
+) {
+    let cluster = ctx.cluster.clone();
+    loop {
+        if control.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some(msg) = queue.pop(Duration::from_millis(50)) else {
+            // Timeout or close: check the stop/crash flags and retry.
+            if control.crash.lock().is_some() {
+                control.alive.store(false, Ordering::Relaxed);
+                break;
+            }
+            continue;
+        };
+        let metrics = &cluster.metrics;
+        metrics.add(&metrics.delivered, 1);
+        metrics.add(
+            &metrics.wait_nanos,
+            msg.enqueued_at.elapsed().as_nanos() as u64,
+        );
+        // Crash before processing: the message is redelivered untouched.
+        if *control.crash.lock() == Some(CrashPoint::BeforeProcess) {
+            metrics.add(&metrics.redelivered, 1);
+            queue.push_front(msg);
+            control.alive.store(false, Ordering::Relaxed);
+            break;
+        }
+        control.busy.store(true, Ordering::Relaxed);
+        metrics.enter_flight();
+        let started = Instant::now();
+        let result = handler.handle(&ctx, &msg);
+        metrics.add(&metrics.busy_nanos, started.elapsed().as_nanos() as u64);
+        metrics.exit_flight();
+        control.busy.store(false, Ordering::Relaxed);
+        // Crash after processing but before the ack/reply: redelivered,
+        // exercising the at-least-once path (handlers must be
+        // idempotent, which Vinz guarantees via fiber locks).
+        if *control.crash.lock() == Some(CrashPoint::AfterProcess) {
+            metrics.add(&metrics.redelivered, 1);
+            queue.push_front(msg);
+            control.alive.store(false, Ordering::Relaxed);
+            break;
+        }
+        cluster.route_reply(&msg.reply_to, result);
+        metrics.add(&metrics.completed, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Messages and faults.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Where a service's reply (if any) should go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyTo {
+    /// Fire-and-forget: replies are dropped.
+    Nowhere,
+    /// A synchronous caller is blocked on this correlation id.
+    Caller {
+        /// Correlation id of the pending call.
+        correlation: u64,
+    },
+    /// Deliver the reply as a *new request* to any instance of a service
+    /// — the mechanism behind `ResumeFromCall` (§3.2): the response goes
+    /// back to the message queue, not to the sending instance.
+    Service {
+        /// Target service.
+        service: String,
+        /// Target operation.
+        operation: String,
+        /// Correlation id copied into the reply's headers.
+        correlation: u64,
+    },
+}
+
+/// A queued message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Broker-assigned id.
+    pub id: u64,
+    /// Destination service.
+    pub service: String,
+    /// Destination operation.
+    pub operation: String,
+    /// String headers (correlation ids, fiber ids, ...).
+    pub headers: BTreeMap<String, String>,
+    /// Opaque payload (the embedder's serialized value).
+    pub body: Vec<u8>,
+    /// Larger is more urgent. `AwakeFiber` messages are sent low-priority
+    /// per §5.
+    pub priority: i32,
+    /// Soft deadline used by the EDF scheduling policy (§5 future work).
+    pub deadline: Option<Instant>,
+    /// Where the handler's reply goes.
+    pub reply_to: ReplyTo,
+    /// Time the message entered the queue.
+    pub enqueued_at: Instant,
+    /// Number of times this delivery was re-queued after instance
+    /// failure.
+    pub redeliveries: u32,
+}
+
+impl Message {
+    /// Build a message; the broker assigns `id` and `enqueued_at` on
+    /// send.
+    pub fn new(service: &str, operation: &str, body: Vec<u8>) -> Message {
+        Message {
+            id: 0,
+            service: service.to_string(),
+            operation: operation.to_string(),
+            headers: BTreeMap::new(),
+            body,
+            priority: 0,
+            deadline: None,
+            reply_to: ReplyTo::Nowhere,
+            enqueued_at: Instant::now(),
+            redeliveries: 0,
+        }
+    }
+
+    /// Builder: set a header.
+    pub fn header(mut self, k: &str, v: impl Into<String>) -> Message {
+        self.headers.insert(k.to_string(), v.into());
+        self
+    }
+
+    /// Builder: set priority.
+    pub fn with_priority(mut self, p: i32) -> Message {
+        self.priority = p;
+        self
+    }
+
+    /// Builder: set a deadline.
+    pub fn with_deadline(mut self, d: Instant) -> Message {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Header accessor.
+    pub fn get_header(&self, k: &str) -> Option<&str> {
+        self.headers.get(k).map(String::as_str)
+    }
+}
+
+/// A service fault: a QName-style code plus a message, which Vinz turns
+/// into a Gozer condition (§3.7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Designator, conventionally `{namespace}Code`.
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Fault {
+    /// Build a fault.
+    pub fn new(code: &str, message: impl Into<String>) -> Fault {
+        Fault {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let m = Message::new("svc", "Op", vec![1, 2])
+            .header("k", "v")
+            .with_priority(3);
+        assert_eq!(m.get_header("k"), Some("v"));
+        assert_eq!(m.priority, 3);
+        assert_eq!(m.body, vec![1, 2]);
+        assert_eq!(m.reply_to, ReplyTo::Nowhere);
+    }
+
+    #[test]
+    fn fault_display() {
+        let f = Fault::new("{urn:s}Connect", "refused");
+        assert_eq!(f.to_string(), "{urn:s}Connect: refused");
+    }
+}

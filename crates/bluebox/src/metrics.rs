@@ -1,0 +1,98 @@
+//! Cluster-wide counters used by the benchmark harnesses (§3.2, §5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters; cheap enough to leave always-on.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Messages accepted by the broker.
+    pub sent: AtomicU64,
+    /// Messages handed to an instance.
+    pub delivered: AtomicU64,
+    /// Messages re-queued after a failed delivery.
+    pub redelivered: AtomicU64,
+    /// Handler invocations that completed (reply routed or none needed).
+    pub completed: AtomicU64,
+    /// Handler invocations that returned a fault.
+    pub faults: AtomicU64,
+    /// Total time spent inside handlers.
+    pub busy_nanos: AtomicU64,
+    /// Total message queue-wait time (enqueue → delivery).
+    pub wait_nanos: AtomicU64,
+    /// Time instances spent blocked inside *synchronous* nested service
+    /// calls — the wasted "request slot" time of §3.2.
+    pub sync_block_nanos: AtomicU64,
+    /// Messages currently being processed.
+    pub in_flight: AtomicU64,
+    /// High-water mark of `in_flight`.
+    pub max_in_flight: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn add(&self, counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn enter_flight(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_in_flight.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn exit_flight(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sent: self.sent.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            redelivered: self.redelivered.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            wait_nanos: self.wait_nanos.load(Ordering::Relaxed),
+            sync_block_nanos: self.sync_block_nanos.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copied-out view of [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::sent`].
+    pub sent: u64,
+    /// See [`Metrics::delivered`].
+    pub delivered: u64,
+    /// See [`Metrics::redelivered`].
+    pub redelivered: u64,
+    /// See [`Metrics::completed`].
+    pub completed: u64,
+    /// See [`Metrics::faults`].
+    pub faults: u64,
+    /// See [`Metrics::busy_nanos`].
+    pub busy_nanos: u64,
+    /// See [`Metrics::wait_nanos`].
+    pub wait_nanos: u64,
+    /// See [`Metrics::sync_block_nanos`].
+    pub sync_block_nanos: u64,
+    /// See [`Metrics::max_in_flight`].
+    pub max_in_flight: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flight_tracking() {
+        let m = Metrics::default();
+        m.enter_flight();
+        m.enter_flight();
+        m.exit_flight();
+        m.enter_flight();
+        let s = m.snapshot();
+        assert_eq!(s.max_in_flight, 2);
+    }
+}

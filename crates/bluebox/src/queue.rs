@@ -1,0 +1,231 @@
+//! A per-service message queue with pluggable scheduling policy and
+//! blocking competing-consumer receive.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::message::Message;
+
+/// How the next message is chosen when multiple are queued.
+///
+/// The production system is FCFS with priorities ("task scheduling is
+/// first-come-first-serve, which has been shown to be suboptimal in the
+/// presence of deadlines", §5); `Edf` is the deadline-aware policy the
+/// §5 scheduling experiment compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Strict arrival order.
+    #[default]
+    Fcfs,
+    /// Highest priority first, FCFS within a priority.
+    Priority,
+    /// Earliest deadline first (no deadline = last), FCFS among equals.
+    Edf,
+}
+
+struct QueueState {
+    messages: VecDeque<(u64, Message)>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A service queue.
+pub struct ServiceQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    policy: Policy,
+}
+
+impl ServiceQueue {
+    /// Queue with the given policy.
+    pub fn new(policy: Policy) -> ServiceQueue {
+        ServiceQueue {
+            state: Mutex::new(QueueState {
+                messages: VecDeque::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            policy,
+        }
+    }
+
+    /// Enqueue.
+    pub fn push(&self, msg: Message) {
+        let mut st = self.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.messages.push_back((seq, msg));
+        drop(st);
+        self.cond.notify_one();
+    }
+
+    /// Re-enqueue a message after a failed delivery, preserving arrival
+    /// fairness as well as possible (front of queue).
+    pub fn push_front(&self, mut msg: Message) {
+        msg.redeliveries += 1;
+        let mut st = self.state.lock();
+        st.messages.push_front((0, msg));
+        drop(st);
+        self.cond.notify_one();
+    }
+
+    /// Blocking receive with timeout; `None` on timeout or close.
+    pub fn pop(&self, timeout: Duration) -> Option<Message> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(idx) = self.select(&st.messages) {
+                let (_, msg) = st.messages.remove(idx).expect("index valid");
+                return Some(msg);
+            }
+            if st.closed {
+                return None;
+            }
+            if self.cond.wait_until(&mut st, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_pop(&self) -> Option<Message> {
+        let mut st = self.state.lock();
+        let idx = self.select(&st.messages)?;
+        st.messages.remove(idx).map(|(_, m)| m)
+    }
+
+    fn select(&self, messages: &VecDeque<(u64, Message)>) -> Option<usize> {
+        if messages.is_empty() {
+            return None;
+        }
+        match self.policy {
+            Policy::Fcfs => Some(0),
+            Policy::Priority => {
+                let mut best = 0;
+                for (i, (seq, m)) in messages.iter().enumerate() {
+                    let (bseq, bm) = &messages[best];
+                    if m.priority > bm.priority || (m.priority == bm.priority && seq < bseq) {
+                        best = i;
+                    }
+                }
+                Some(best)
+            }
+            Policy::Edf => {
+                let key = |m: &Message| m.deadline;
+                let mut best = 0;
+                for (i, (seq, m)) in messages.iter().enumerate() {
+                    let (bseq, bm) = &messages[best];
+                    let earlier = match (key(m), key(bm)) {
+                        (Some(a), Some(b)) => a < b,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => seq < bseq,
+                    };
+                    if earlier {
+                        best = i;
+                    }
+                }
+                Some(best)
+            }
+        }
+    }
+
+    /// Number of waiting messages.
+    pub fn depth(&self) -> usize {
+        self.state.lock().messages.len()
+    }
+
+    /// Close: wake all receivers; subsequent pops drain then return
+    /// `None`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(op: &str, prio: i32) -> Message {
+        Message::new("s", op, vec![]).with_priority(prio)
+    }
+
+    #[test]
+    fn fcfs_order() {
+        let q = ServiceQueue::new(Policy::Fcfs);
+        q.push(msg("a", 0));
+        q.push(msg("b", 9));
+        q.push(msg("c", 5));
+        let order: Vec<String> = (0..3)
+            .map(|_| q.pop(Duration::from_millis(10)).unwrap().operation)
+            .collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn priority_order() {
+        let q = ServiceQueue::new(Policy::Priority);
+        q.push(msg("low", 0));
+        q.push(msg("high", 9));
+        q.push(msg("mid", 5));
+        q.push(msg("high2", 9));
+        let order: Vec<String> = (0..4)
+            .map(|_| q.pop(Duration::from_millis(10)).unwrap().operation)
+            .collect();
+        assert_eq!(order, vec!["high", "high2", "mid", "low"]);
+    }
+
+    #[test]
+    fn edf_order() {
+        let q = ServiceQueue::new(Policy::Edf);
+        let now = Instant::now();
+        q.push(msg("nodeadline", 0));
+        q.push(msg("late", 0).with_deadline(now + Duration::from_secs(10)));
+        q.push(msg("soon", 0).with_deadline(now + Duration::from_secs(1)));
+        let order: Vec<String> = (0..3)
+            .map(|_| q.pop(Duration::from_millis(10)).unwrap().operation)
+            .collect();
+        assert_eq!(order, vec!["soon", "late", "nodeadline"]);
+    }
+
+    #[test]
+    fn pop_times_out() {
+        let q = ServiceQueue::new(Policy::Fcfs);
+        assert!(q.pop(Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = std::sync::Arc::new(ServiceQueue::new(Policy::Fcfs));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(msg("x", 0));
+        assert_eq!(h.join().unwrap().unwrap().operation, "x");
+    }
+
+    #[test]
+    fn redelivery_goes_first_and_counts() {
+        let q = ServiceQueue::new(Policy::Fcfs);
+        q.push(msg("a", 0));
+        let failed = msg("failed", 0);
+        q.push_front(failed);
+        let first = q.pop(Duration::from_millis(10)).unwrap();
+        assert_eq!(first.operation, "failed");
+        assert_eq!(first.redeliveries, 1);
+    }
+
+    #[test]
+    fn close_wakes_waiters() {
+        let q = std::sync::Arc::new(ServiceQueue::new(Policy::Fcfs));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! LSB-first bit-level writer and reader.
+
+/// Writes bit fields LSB-first into a byte vector.
+#[derive(Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    cur: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Fresh writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Append the low `n` bits of `bits` (n ≤ 24).
+    pub fn write(&mut self, bits: u32, n: u32) {
+        debug_assert!(n <= 24);
+        let mask = if n == 0 { 0 } else { (1u32 << n) - 1 };
+        self.cur |= (bits & mask) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.cur & 0xFF) as u8);
+            self.cur >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Flush any partial byte (zero-padded) and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.cur & 0xFF) as u8);
+        }
+        self.out
+    }
+
+    /// Bytes written so far (excluding a pending partial byte).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty() && self.nbits == 0
+    }
+}
+
+/// Reads bit fields LSB-first from a byte slice.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    cur: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader over `data`.
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            data,
+            pos: 0,
+            cur: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Read `n` bits (n ≤ 24). Returns `None` past end of input.
+    pub fn read(&mut self, n: u32) -> Option<u32> {
+        debug_assert!(n <= 24);
+        while self.nbits < n {
+            let byte = *self.data.get(self.pos)?;
+            self.pos += 1;
+            self.cur |= (byte as u32) << self.nbits;
+            self.nbits += 8;
+        }
+        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let v = self.cur & mask;
+        self.cur >>= n;
+        self.nbits -= n;
+        Some(v)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Option<u32> {
+        self.read(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xAB, 8);
+        w.write(0x3FF, 10);
+        w.write(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), Some(0b101));
+        assert_eq!(r.read(8), Some(0xAB));
+        assert_eq!(r.read(10), Some(0x3FF));
+        assert_eq!(r.read(1), Some(1));
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read(8), Some(0xFF));
+        assert_eq!(r.read(8), None);
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert!(w.is_empty());
+        assert!(w.finish().is_empty());
+    }
+}

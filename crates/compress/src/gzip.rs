@@ -1,0 +1,101 @@
+//! Gzip-like framing: a 10-byte header, the deflate-like body, and a
+//! CRC-32 + length trailer.
+//!
+//! This reproduces the structural relationship the paper measured in
+//! §4.2: "plain deflate can be made to perform approximately 30% better
+//! than the more robust and space-efficient gzip format" — the framed
+//! format pays for header parsing and, dominantly, the CRC pass over the
+//! uncompressed bytes.
+
+use crate::crc32::crc32;
+use crate::deflate::{deflate, inflate};
+
+const MAGIC: [u8; 2] = [0x1F, 0x8B];
+const METHOD: u8 = 8; // "deflate"
+const HEADER_LEN: usize = 10;
+const TRAILER_LEN: usize = 8;
+
+/// Compress with gzip-like framing.
+pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
+    let body = deflate(data);
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.push(METHOD);
+    out.push(0); // flags
+    out.extend_from_slice(&[0, 0, 0, 0]); // mtime
+    out.push(0); // xfl
+    out.push(255); // os: unknown
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompress gzip-like framing, verifying the CRC and length.
+pub fn gzip_decompress(stream: &[u8]) -> Result<Vec<u8>, String> {
+    if stream.len() < HEADER_LEN + TRAILER_LEN {
+        return Err("truncated gzip stream".into());
+    }
+    if stream[0..2] != MAGIC {
+        return Err("bad gzip magic".into());
+    }
+    if stream[2] != METHOD {
+        return Err(format!("unsupported compression method {}", stream[2]));
+    }
+    let body = &stream[HEADER_LEN..stream.len() - TRAILER_LEN];
+    let data = inflate(body)?;
+    let trailer = &stream[stream.len() - TRAILER_LEN..];
+    let expect_crc = u32::from_le_bytes(trailer[0..4].try_into().expect("4 bytes"));
+    let expect_len = u32::from_le_bytes(trailer[4..8].try_into().expect("4 bytes"));
+    if data.len() as u32 != expect_len {
+        return Err(format!(
+            "gzip length mismatch: got {}, expected {expect_len}",
+            data.len()
+        ));
+    }
+    let got_crc = crc32(&data);
+    if got_crc != expect_crc {
+        return Err(format!(
+            "gzip CRC mismatch: got {got_crc:#010x}, expected {expect_crc:#010x}"
+        ));
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = b"framed fiber state framed fiber state".repeat(50);
+        let c = gzip_compress(&data);
+        assert_eq!(gzip_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn gzip_is_larger_than_deflate() {
+        let data = b"some persisted continuation bytes".repeat(20);
+        let d = deflate(&data);
+        let g = gzip_compress(&data);
+        assert_eq!(g.len(), d.len() + HEADER_LEN + TRAILER_LEN);
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let data = b"integrity matters".repeat(30);
+        let mut c = gzip_compress(&data);
+        // Flip a bit in the compressed body (after the nibble-packed code
+        // length header, which inflate may tolerate): force a CRC check
+        // failure by corrupting the stored CRC instead.
+        let n = c.len();
+        c[n - 6] ^= 0xFF;
+        let err = gzip_decompress(&c).unwrap_err();
+        assert!(err.contains("CRC") || err.contains("length"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(gzip_decompress(&[0u8; 32]).is_err());
+    }
+}

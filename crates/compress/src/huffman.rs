@@ -1,0 +1,288 @@
+//! Canonical Huffman coding with a 15-bit length limit.
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Maximum code length, as in deflate.
+pub const MAX_BITS: usize = 15;
+
+/// Compute canonical code lengths for `freqs`, bounded by [`MAX_BITS`].
+///
+/// Builds a Huffman tree over the nonzero symbols; if the deepest leaf
+/// exceeds the limit, frequencies are repeatedly flattened (`f/2 + 1`) and
+/// the tree rebuilt — the pragmatic bounded-length scheme, which
+/// terminates because flattening converges toward uniform frequencies.
+pub fn build_lengths(freqs: &[u64]) -> Vec<u8> {
+    let mut freqs: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = tree_lengths(&freqs);
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        if (max as usize) <= MAX_BITS {
+            return lengths;
+        }
+        for f in freqs.iter_mut() {
+            if *f > 0 {
+                *f = *f / 2 + 1;
+            }
+        }
+    }
+}
+
+fn tree_lengths(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let nonzero: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; n];
+    match nonzero.len() {
+        0 => return lengths,
+        1 => {
+            // A single symbol still needs one bit on the wire.
+            lengths[nonzero[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Node arena: leaves then internals; (freq, left, right), parent links
+    // computed as we merge.
+    #[derive(Clone)]
+    struct Node {
+        freq: u64,
+        children: Option<(usize, usize)>,
+    }
+    let mut nodes: Vec<Node> = nonzero
+        .iter()
+        .map(|&i| Node {
+            freq: freqs[i],
+            children: None,
+        })
+        .collect();
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| Reverse((node.freq, i)))
+        .collect();
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().expect("heap len > 1");
+        let Reverse((fb, b)) = heap.pop().expect("heap len > 1");
+        let id = nodes.len();
+        nodes.push(Node {
+            freq: fa + fb,
+            children: Some((a, b)),
+        });
+        heap.push(Reverse((fa + fb, id)));
+    }
+    let root = heap.pop().expect("root").0 .1;
+    // Depth-first depth assignment.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((id, depth)) = stack.pop() {
+        match nodes[id].children {
+            Some((a, b)) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+            None => {
+                lengths[nonzero[id]] = depth.max(1);
+            }
+        }
+    }
+    lengths
+}
+
+/// Assign canonical codes (shorter codes numerically first, ties by
+/// symbol order). Returns `(code, len)` per symbol; len 0 = unused.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<(u16, u8)> {
+    let mut bl_count = [0u16; MAX_BITS + 1];
+    for &l in lengths {
+        bl_count[l as usize] += 1;
+    }
+    bl_count[0] = 0;
+    let mut next_code = [0u16; MAX_BITS + 2];
+    let mut code = 0u16;
+    for bits in 1..=MAX_BITS {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                (0, 0)
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                (c, l)
+            }
+        })
+        .collect()
+}
+
+/// Encoder table: writes symbols MSB-first so the canonical decoder can
+/// consume bit by bit.
+pub struct Encoder {
+    codes: Vec<(u16, u8)>,
+}
+
+impl Encoder {
+    /// Build from code lengths.
+    pub fn new(lengths: &[u8]) -> Encoder {
+        Encoder {
+            codes: canonical_codes(lengths),
+        }
+    }
+
+    /// Emit `sym`.
+    pub fn write(&self, w: &mut BitWriter, sym: usize) {
+        let (code, len) = self.codes[sym];
+        debug_assert!(len > 0, "writing symbol {sym} with zero length");
+        for i in (0..len).rev() {
+            w.write(((code >> i) & 1) as u32, 1);
+        }
+    }
+}
+
+/// Canonical decoder using per-length first-code/offset tables.
+pub struct Decoder {
+    /// first_code[len], valid for len in 1..=MAX_BITS.
+    first_code: [u32; MAX_BITS + 1],
+    /// Index into `symbols` of the first code of each length.
+    offset: [u32; MAX_BITS + 1],
+    /// Count of codes per length.
+    count: [u32; MAX_BITS + 1],
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+impl Decoder {
+    /// Build from code lengths.
+    pub fn new(lengths: &[u8]) -> Decoder {
+        let mut count = [0u32; MAX_BITS + 1];
+        for &l in lengths {
+            count[l as usize] += 1;
+        }
+        count[0] = 0;
+        let mut first_code = [0u32; MAX_BITS + 1];
+        let mut offset = [0u32; MAX_BITS + 1];
+        let mut code = 0u32;
+        let mut idx = 0u32;
+        for len in 1..=MAX_BITS {
+            code = (code + count[len - 1]) << 1;
+            first_code[len] = code;
+            offset[len] = idx;
+            idx += count[len];
+        }
+        let mut symbols: Vec<u16> = Vec::with_capacity(idx as usize);
+        for len in 1..=MAX_BITS as u8 {
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l == len {
+                    symbols.push(sym as u16);
+                }
+            }
+        }
+        Decoder {
+            first_code,
+            offset,
+            count,
+            symbols,
+        }
+    }
+
+    /// Decode one symbol, or `None` on truncated/corrupt input.
+    pub fn read(&self, r: &mut BitReader<'_>) -> Option<u16> {
+        let mut code = 0u32;
+        for len in 1..=MAX_BITS {
+            code = (code << 1) | r.read_bit()?;
+            let c = self.count[len];
+            if c != 0 && code >= self.first_code[len] && code < self.first_code[len] + c {
+                let idx = self.offset[len] + (code - self.first_code[len]);
+                return self.symbols.get(idx as usize).copied();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_kraft_inequality() {
+        let freqs = [50u64, 30, 10, 5, 3, 1, 1];
+        let lengths = build_lengths(&freqs);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+        // More frequent symbols get codes no longer than rarer ones.
+        assert!(lengths[0] <= lengths[5]);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let lengths = build_lengths(&[0, 42, 0]);
+        assert_eq!(lengths, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn roundtrip_random_symbols() {
+        let freqs = [100u64, 50, 25, 12, 6, 3, 1, 1, 200, 7];
+        let lengths = build_lengths(&freqs);
+        let enc = Encoder::new(&lengths);
+        let dec = Decoder::new(&lengths);
+        let mut syms = Vec::new();
+        let mut x: u32 = 7;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let s = (x % 10) as usize;
+            syms.push(s);
+        }
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &syms {
+            assert_eq!(dec.read(&mut r), Some(s as u16));
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // Verify expected-length advantage for skewed frequencies.
+        let mut freqs = vec![1u64; 64];
+        freqs[0] = 10_000;
+        let lengths = build_lengths(&freqs);
+        assert!(lengths[0] < lengths[1]);
+        assert!(lengths[0] <= 2);
+    }
+
+    #[test]
+    fn length_limit_respected_under_extreme_skew() {
+        // Fibonacci-like frequencies force deep trees.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_lengths(&freqs);
+        assert!(lengths.iter().all(|&l| (l as usize) <= MAX_BITS));
+        // Still decodable.
+        let enc = Encoder::new(&lengths);
+        let dec = Decoder::new(&lengths);
+        let mut w = BitWriter::new();
+        for s in 0..40 {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for s in 0..40u16 {
+            assert_eq!(dec.read(&mut r), Some(s));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! An interactive Gozer REPL — the paper calls the language a "scripting
+//! language" with "support for interactive development"; this is that
+//! loop.
+//!
+//! ```bash
+//! cargo run -p gozer --bin gozer-repl
+//! ```
+//!
+//! Multi-line input is supported (the reader keeps accepting lines until
+//! parentheses balance). `:quit` exits, `:log` dumps captured output.
+
+use std::io::{BufRead, Write};
+
+use gozer::Gvm;
+
+fn paren_balance(src: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut prev: Option<char> = None;
+    for c in src.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+        } else {
+            match c {
+                '"' => in_string = true,
+                '(' | '[' | '{'
+                    // #\( is a character literal, not an opener.
+                    if prev != Some('\\') => {
+                        depth += 1;
+                    }
+                ')' | ']' | '}'
+                    if prev != Some('\\') => {
+                        depth -= 1;
+                    }
+                _ => {}
+            }
+        }
+        prev = Some(c);
+    }
+    depth
+}
+
+fn main() {
+    let gvm = Gvm::new();
+    gvm.log_to_stdout
+        .store(true, std::sync::atomic::Ordering::Relaxed);
+    println!("Gozer REPL — (Lisp dialect of the Gozer workflow system)");
+    println!("Type forms; :quit exits.\n");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("gozer> ");
+        } else {
+            print!("  ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                ":quit" | ":q" => break,
+                ":log" => {
+                    for entry in gvm.take_log() {
+                        println!("{entry}");
+                    }
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if paren_balance(&buffer) > 0 {
+            continue; // keep reading lines
+        }
+        let src = std::mem::take(&mut buffer);
+        match gvm.eval_str(&src) {
+            Ok(v) => println!("=> {v:?}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye.");
+}

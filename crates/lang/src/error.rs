@@ -1,0 +1,63 @@
+//! Errors produced by the reader and other language-level operations.
+
+use std::fmt;
+
+/// A language-level error: reader syntax errors and reader-macro failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line where the error was detected (0 when unknown).
+    pub line: u32,
+    /// 1-based column where the error was detected (0 when unknown).
+    pub column: u32,
+}
+
+impl LangError {
+    /// An error with no source position.
+    pub fn new(message: impl Into<String>) -> Self {
+        LangError {
+            message: message.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+
+    /// An error at a known source position.
+    pub fn at(message: impl Into<String>, line: u32, column: u32) -> Self {
+        LangError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.line, self.column, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_position() {
+        let e = LangError::at("unexpected )", 3, 7);
+        assert_eq!(e.to_string(), "3:7: unexpected )");
+    }
+
+    #[test]
+    fn display_without_position() {
+        let e = LangError::new("eof");
+        assert_eq!(e.to_string(), "eof");
+    }
+}

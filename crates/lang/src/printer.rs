@@ -1,0 +1,149 @@
+//! The printer: renders values back to (mostly) readable syntax.
+//!
+//! `Debug`/readable mode escapes strings and characters so that
+//! `read(print(v)) == v` for all serializable data values; `Display` mode
+//! (`princ` style) writes strings raw.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Write `v` to `f`. When `readably` is true strings and characters are
+/// escaped so the output can be read back.
+pub fn print_value(v: &Value, f: &mut fmt::Formatter<'_>, readably: bool) -> fmt::Result {
+    match v {
+        Value::Nil => f.write_str("nil"),
+        Value::Bool(true) => f.write_str("t"),
+        Value::Bool(false) => f.write_str("nil"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Float(x) => {
+            if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                write!(f, "{x:.1}")
+            } else {
+                write!(f, "{x}")
+            }
+        }
+        Value::Char(c) => {
+            if readably {
+                match c {
+                    ' ' => f.write_str("#\\space"),
+                    '\n' => f.write_str("#\\newline"),
+                    '\t' => f.write_str("#\\tab"),
+                    _ => write!(f, "#\\{c}"),
+                }
+            } else {
+                write!(f, "{c}")
+            }
+        }
+        Value::Str(s) => {
+            if readably {
+                f.write_str("\"")?;
+                for ch in s.chars() {
+                    match ch {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\t' => f.write_str("\\t")?,
+                        '\r' => f.write_str("\\r")?,
+                        _ => write!(f, "{ch}")?,
+                    }
+                }
+                f.write_str("\"")
+            } else {
+                f.write_str(s)
+            }
+        }
+        Value::Symbol(s) => write!(f, "{}", s.name()),
+        Value::Keyword(s) => write!(f, ":{}", s.name()),
+        Value::List(items) => print_seq(f, items, '(', ')', readably),
+        Value::Vector(items) => print_seq(f, items, '[', ']', readably),
+        Value::Map(m) => {
+            f.write_str("{")?;
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" ")?;
+                }
+                print_value(k, f, readably)?;
+                f.write_str(" ")?;
+                print_value(v, f, readably)?;
+            }
+            f.write_str("}")
+        }
+        Value::Func(c) => write!(f, "#<function {}>", c.callable_name()),
+        Value::Opaque(o) => write!(f, "#<{}>", o.opaque_print()),
+    }
+}
+
+fn print_seq(
+    f: &mut fmt::Formatter<'_>,
+    items: &[Value],
+    open: char,
+    close: char,
+    readably: bool,
+) -> fmt::Result {
+    write!(f, "{open}")?;
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(" ")?;
+        }
+        print_value(item, f, readably)?;
+    }
+    write!(f, "{close}")
+}
+
+/// Render a value readably into a fresh string (Lisp `prin1-to-string`).
+pub fn print_to_string(v: &Value) -> String {
+    format!("{v:?}")
+}
+
+/// Render a value for humans (Lisp `princ-to-string`): strings unescaped.
+pub fn display_to_string(v: &Value) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AssocMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn print_atoms() {
+        assert_eq!(print_to_string(&Value::Nil), "nil");
+        assert_eq!(print_to_string(&Value::Bool(true)), "t");
+        assert_eq!(print_to_string(&Value::Int(-42)), "-42");
+        assert_eq!(print_to_string(&Value::Float(1.5)), "1.5");
+        assert_eq!(print_to_string(&Value::Float(2.0)), "2.0");
+        assert_eq!(print_to_string(&Value::keyword("k")), ":k");
+    }
+
+    #[test]
+    fn print_string_escapes() {
+        let s = Value::str("a\"b\\c\nd");
+        assert_eq!(print_to_string(&s), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(display_to_string(&s), "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn print_chars() {
+        assert_eq!(print_to_string(&Value::Char('x')), "#\\x");
+        assert_eq!(print_to_string(&Value::Char(' ')), "#\\space");
+        assert_eq!(display_to_string(&Value::Char('x')), "x");
+    }
+
+    #[test]
+    fn print_nested() {
+        let v = Value::list(vec![
+            Value::symbol("+"),
+            Value::Int(1),
+            Value::vector(vec![Value::Int(2), Value::Int(3)]),
+        ]);
+        assert_eq!(print_to_string(&v), "(+ 1 [2 3])");
+    }
+
+    #[test]
+    fn print_map() {
+        let m = AssocMap::from_pairs(vec![(Value::keyword("a"), Value::Int(1))]);
+        assert_eq!(print_to_string(&Value::Map(Arc::new(m))), "{:a 1}");
+    }
+}

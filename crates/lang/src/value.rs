@@ -1,0 +1,434 @@
+//! The Gozer runtime value representation.
+//!
+//! A [`Value`] is a small, cheaply-clonable tagged union. Aggregates are
+//! immutable and reference-counted: Gozer is "semi-functional" (paper
+//! §3.6) — mutation happens to *variable bindings*, not to values — which
+//! is what makes fiber state cheap to clone at `fork-and-exec` time and
+//! straightforward to serialize without cycles.
+//!
+//! Function-like values ([`Callable`]) and embedder-defined values
+//! ([`Opaque`], e.g. futures and continuations from the VM crate) are held
+//! as trait objects so this crate stays independent of the VM.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::symbol::Symbol;
+
+/// A function-like value: closures compiled by the VM, native (Rust)
+/// functions, and macro functions. Calling conventions live in the VM; the
+/// language layer only needs identity and a name for printing.
+pub trait Callable: Send + Sync + fmt::Debug {
+    /// Name used by the printer, e.g. `#<function foo>`.
+    fn callable_name(&self) -> String;
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// An embedder-defined value (future, continuation, fiber handle, XML
+/// document, ...). Equality is identity; printing is delegated.
+pub trait Opaque: Send + Sync + fmt::Debug {
+    /// Short type tag, e.g. `"future"`, used by the printer and by
+    /// `type-of`.
+    fn opaque_type(&self) -> &'static str;
+    /// Printed representation (without surrounding `#<...>`).
+    fn opaque_print(&self) -> String {
+        self.opaque_type().to_string()
+    }
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// An insertion-ordered association map. Gozer maps (and the XML-derived
+/// message structures of paper §3.3) are small, so a vector of pairs with
+/// linear search beats a hash map in both footprint and iteration order
+/// stability (which the printer and serializer rely on).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AssocMap {
+    entries: Vec<(Value, Value)>,
+}
+
+impl AssocMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        AssocMap::default()
+    }
+
+    /// Build from a pair list, later duplicates replacing earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Value, Value)>) -> Self {
+        let mut m = AssocMap::new();
+        for (k, v) in pairs {
+            m.insert(k, v);
+        }
+        m
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up by structural equality.
+    pub fn get(&self, key: &Value) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Insert or replace; preserves first-insertion order.
+    pub fn insert(&mut self, key: Value, value: Value) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Remove an entry, returning its value.
+    pub fn remove(&mut self, key: &Value) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Value, Value)> {
+        self.entries.iter()
+    }
+}
+
+/// A Gozer runtime value.
+///
+/// `Nil` doubles as the empty list and boolean false, as in Common Lisp.
+#[derive(Clone)]
+pub enum Value {
+    /// `nil`: false, and the empty list.
+    Nil,
+    /// `t` is represented as `Bool(true)`; `Bool(false)` prints as `nil`.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// A character, written `#\a`.
+    Char(char),
+    /// Immutable string.
+    Str(Arc<str>),
+    /// Interned symbol.
+    Symbol(Symbol),
+    /// Interned keyword, written `:name`.
+    Keyword(Symbol),
+    /// Proper list. Never empty — the reader and constructors normalise
+    /// `()` to `Nil`.
+    List(Arc<Vec<Value>>),
+    /// Vector, written `[a b c]`.
+    Vector(Arc<Vec<Value>>),
+    /// Association map, written `{k1 v1 k2 v2}`.
+    Map(Arc<AssocMap>),
+    /// Function-like object (closure, native function).
+    Func(Arc<dyn Callable>),
+    /// Embedder-defined object (future, continuation, ...).
+    Opaque(Arc<dyn Opaque>),
+}
+
+impl Value {
+    /// Build a list value, normalising the empty list to `Nil`.
+    pub fn list(items: Vec<Value>) -> Value {
+        if items.is_empty() {
+            Value::Nil
+        } else {
+            Value::List(Arc::new(items))
+        }
+    }
+
+    /// Build a vector value.
+    pub fn vector(items: Vec<Value>) -> Value {
+        Value::Vector(Arc::new(items))
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build a symbol value.
+    pub fn symbol(name: &str) -> Value {
+        Value::Symbol(Symbol::intern(name))
+    }
+
+    /// Build a keyword value (`name` without the leading colon).
+    pub fn keyword(name: &str) -> Value {
+        Value::Keyword(Symbol::intern(name))
+    }
+
+    /// Gozer truthiness: everything except `nil` and `false` is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+
+    /// Is this `nil` (or false, which prints as `nil`)?
+    pub fn is_nil(&self) -> bool {
+        !self.is_truthy()
+    }
+
+    /// View as a list slice. `Nil` is the empty list; non-lists are `None`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::Nil => Some(&[]),
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// View as any sequence (list or vector).
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Nil => Some(&[]),
+            Value::List(items) | Value::Vector(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Extract a symbol.
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Symbol(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Extract a keyword's symbol.
+    pub fn as_keyword(&self) -> Option<Symbol> {
+        match self {
+            Value::Keyword(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract an integer (floats with integral value do not coerce).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers and floats as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Extract a map.
+    pub fn as_map(&self) -> Option<&AssocMap> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Downcast an opaque value to a concrete type.
+    pub fn as_opaque<T: 'static>(&self) -> Option<&T> {
+        match self {
+            Value::Opaque(o) => o.as_any().downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Downcast a callable value to a concrete type.
+    pub fn as_callable<T: 'static>(&self) -> Option<&T> {
+        match self {
+            Value::Func(f) => f.as_any().downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// A short type tag used by `type-of` and error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Char(_) => "character",
+            Value::Str(_) => "string",
+            Value::Symbol(_) => "symbol",
+            Value::Keyword(_) => "keyword",
+            Value::List(_) => "list",
+            Value::Vector(_) => "vector",
+            Value::Map(_) => "map",
+            Value::Func(_) => "function",
+            Value::Opaque(o) => o.opaque_type(),
+        }
+    }
+
+    /// Numeric equality used by `=` (1 and 1.0 are `=` but not `equal`).
+    pub fn numeric_eq(&self, other: &Value) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality (Lisp `equal`): aggregates compare element-wise,
+    /// functions and opaques compare by identity.
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            // nil == false: both are "the false value".
+            (Value::Nil, Value::Bool(false)) | (Value::Bool(false), Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Char(a), Value::Char(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Symbol(a), Value::Symbol(b)) => a == b,
+            (Value::Keyword(a), Value::Keyword(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            (Value::Vector(a), Value::Vector(b)) => a == b,
+            (Value::Map(a), Value::Map(b)) => a == b,
+            (Value::Func(a), Value::Func(b)) => Arc::ptr_eq(a, b),
+            (Value::Opaque(a), Value::Opaque(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Debug output is the printed (readable) representation; it is what
+        // test assertions compare against.
+        crate::printer::print_value(self, f, true)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::printer::print_value(self, f, false)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Value::list(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_list_is_nil() {
+        assert_eq!(Value::list(vec![]), Value::Nil);
+        assert!(Value::list(vec![]).is_nil());
+    }
+
+    #[test]
+    fn nil_equals_false() {
+        assert_eq!(Value::Nil, Value::Bool(false));
+        assert_ne!(Value::Nil, Value::Bool(true));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Nil.is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Int(0).is_truthy());
+        assert!(Value::str("").is_truthy());
+        assert!(Value::Bool(true).is_truthy());
+    }
+
+    #[test]
+    fn numeric_eq_mixes_int_float() {
+        assert!(Value::Int(1).numeric_eq(&Value::Float(1.0)));
+        assert!(!Value::Int(1).numeric_eq(&Value::Float(1.5)));
+        assert_ne!(Value::Int(1), Value::Float(1.0)); // structural differs
+    }
+
+    #[test]
+    fn assoc_map_insert_get_remove() {
+        let mut m = AssocMap::new();
+        m.insert(Value::keyword("a"), Value::Int(1));
+        m.insert(Value::keyword("b"), Value::Int(2));
+        m.insert(Value::keyword("a"), Value::Int(3)); // replace
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&Value::keyword("a")), Some(&Value::Int(3)));
+        assert_eq!(m.remove(&Value::keyword("a")), Some(Value::Int(3)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&Value::keyword("a")), None);
+    }
+
+    #[test]
+    fn assoc_map_preserves_insertion_order() {
+        let m = AssocMap::from_pairs(vec![
+            (Value::keyword("z"), Value::Int(1)),
+            (Value::keyword("a"), Value::Int(2)),
+        ]);
+        let keys: Vec<String> = m.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec![":z", ":a"]);
+    }
+
+    #[test]
+    fn as_seq_views_lists_and_vectors() {
+        let l = Value::list(vec![Value::Int(1)]);
+        let v = Value::vector(vec![Value::Int(1)]);
+        assert_eq!(l.as_seq().unwrap().len(), 1);
+        assert_eq!(v.as_seq().unwrap().len(), 1);
+        assert_eq!(Value::Nil.as_seq().unwrap().len(), 0);
+        assert!(Value::Int(3).as_seq().is_none());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Nil.type_name(), "nil");
+        assert_eq!(Value::Int(1).type_name(), "integer");
+        assert_eq!(Value::keyword("k").type_name(), "keyword");
+    }
+}

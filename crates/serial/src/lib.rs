@@ -1,0 +1,242 @@
+#![warn(missing_docs)]
+
+//! # gozer-serial
+//!
+//! The custom binary serialization format for Gozer values and fiber
+//! continuations (paper §4.2). The original system started from Java
+//! serialization "with many customizations for efficiency and to broaden
+//! what can be successfully serialized", then introduced "a custom
+//! serialization format that stored the most commonly serialized objects
+//! more efficiently". This crate is that custom format:
+//!
+//! * compact varint integers, tag-per-value encoding;
+//! * **sharing preservation**: aggregates, strings, closures and mutable
+//!   objects serialize once and back-reference after that (object
+//!   identity — including self-referential mutable objects — survives a
+//!   round trip);
+//! * **code by reference**: a closure serializes as its program's content
+//!   hash plus a chunk index; deserialization re-links against the
+//!   destination node's program registry (which is why Vinz loads the
+//!   same workflow source on every node);
+//! * futures serialize as their determined value (the GVM guarantees
+//!   determination before capture, §4.1);
+//! * pluggable compression envelope ([`gozer_compress::Codec`]).
+//!
+//! Entry points: [`serialize_state`] / [`deserialize_state`] for whole
+//! fiber continuations, [`serialize_value`] / [`deserialize_value`] for
+//! single values.
+
+mod reader;
+mod writer;
+
+use std::fmt;
+use std::sync::Arc;
+
+use gozer_compress::Codec;
+use gozer_lang::Value;
+use gozer_vm::{FiberState, Gvm};
+
+pub use reader::ValueReader;
+pub use writer::ValueWriter;
+
+/// Format magic.
+pub(crate) const MAGIC: [u8; 2] = [b'G', b'Z'];
+/// Format version.
+pub(crate) const VERSION: u8 = 1;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError(pub String);
+
+impl SerError {
+    pub(crate) fn new(msg: impl Into<String>) -> SerError {
+        SerError(msg.into())
+    }
+}
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+/// Value tags. Kept stable: persisted fiber state outlives processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Tag {
+    Nil = 0,
+    False = 1,
+    True = 2,
+    Int = 3,
+    Float = 4,
+    Char = 5,
+    Str = 6,
+    Symbol = 7,
+    Keyword = 8,
+    List = 9,
+    Vector = 10,
+    Map = 11,
+    Closure = 12,
+    Native = 13,
+    Object = 14,
+    Continuation = 15,
+    BackRef = 16,
+    /// Small non-negative integer packed into the tag byte:
+    /// `SMALL_INT_BASE + n` for `n` in `0..SMALL_INT_RANGE` — the "most
+    /// commonly serialized objects, stored more efficiently".
+    SmallIntBase = 128,
+}
+
+pub(crate) const SMALL_INT_BASE: u8 = Tag::SmallIntBase as u8;
+pub(crate) const SMALL_INT_RANGE: u8 = 128;
+
+impl Tag {
+    pub(crate) fn from_u8(b: u8) -> Option<Tag> {
+        Some(match b {
+            0 => Tag::Nil,
+            1 => Tag::False,
+            2 => Tag::True,
+            3 => Tag::Int,
+            4 => Tag::Float,
+            5 => Tag::Char,
+            6 => Tag::Str,
+            7 => Tag::Symbol,
+            8 => Tag::Keyword,
+            9 => Tag::List,
+            10 => Tag::Vector,
+            11 => Tag::Map,
+            12 => Tag::Closure,
+            13 => Tag::Native,
+            14 => Tag::Object,
+            15 => Tag::Continuation,
+            16 => Tag::BackRef,
+            _ => return None,
+        })
+    }
+}
+
+/// Serialize a single value.
+pub fn serialize_value(v: &Value, codec: Codec) -> Result<Vec<u8>, SerError> {
+    let mut w = ValueWriter::new();
+    w.write_value(v)?;
+    Ok(envelope(codec, w.finish()))
+}
+
+/// Deserialize a single value (natives and closures re-link through
+/// `gvm`).
+pub fn deserialize_value(bytes: &[u8], gvm: &Arc<Gvm>) -> Result<Value, SerError> {
+    let payload = unenvelope(bytes)?;
+    let mut r = ValueReader::new(&payload, gvm);
+    r.read_value()
+}
+
+/// Serialize a complete fiber continuation.
+pub fn serialize_state(state: &FiberState, codec: Codec) -> Result<Vec<u8>, SerError> {
+    let mut w = ValueWriter::new();
+    w.write_state(state)?;
+    Ok(envelope(codec, w.finish()))
+}
+
+/// Deserialize a fiber continuation, re-linking code against `gvm`'s
+/// program registry.
+pub fn deserialize_state(bytes: &[u8], gvm: &Arc<Gvm>) -> Result<FiberState, SerError> {
+    let payload = unenvelope(bytes)?;
+    let mut r = ValueReader::new(&payload, gvm);
+    r.read_state()
+}
+
+fn envelope(codec: Codec, payload: Vec<u8>) -> Vec<u8> {
+    let body = codec.compress(&payload);
+    let mut out = Vec::with_capacity(body.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(codec.tag());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn unenvelope(bytes: &[u8]) -> Result<Vec<u8>, SerError> {
+    if bytes.len() < 4 || bytes[0..2] != MAGIC {
+        return Err(SerError::new("bad magic"));
+    }
+    if bytes[2] != VERSION {
+        return Err(SerError::new(format!("unsupported version {}", bytes[2])));
+    }
+    let codec = Codec::from_tag(bytes[3])
+        .ok_or_else(|| SerError::new(format!("unknown codec tag {}", bytes[3])))?;
+    codec.decompress(&bytes[4..]).map_err(SerError::new)
+}
+
+// ---- varints -------------------------------------------------------------
+
+pub(crate) fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+pub(crate) fn read_uvarint(data: &[u8], pos: &mut usize) -> Result<u64, SerError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data
+            .get(*pos)
+            .ok_or_else(|| SerError::new("truncated varint"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(SerError::new("varint overflow"));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_garbage() {
+        assert!(unenvelope(&[]).is_err());
+        assert!(unenvelope(&[1, 2, 3, 4]).is_err());
+        assert!(unenvelope(&[b'G', b'Z', 9, 0]).is_err());
+        assert!(unenvelope(&[b'G', b'Z', VERSION, 77]).is_err());
+    }
+}

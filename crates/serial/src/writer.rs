@@ -1,0 +1,258 @@
+//! The value/state writer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gozer_lang::Value;
+use gozer_vm::runtime::{Closure, ContinuationVal, FutureVal, NativeFn};
+use gozer_vm::{FiberState, ObjectVal};
+
+use crate::{write_uvarint, zigzag, SerError, Tag, SMALL_INT_BASE, SMALL_INT_RANGE};
+
+/// Streaming writer with a sharing table keyed by object identity.
+pub struct ValueWriter {
+    out: Vec<u8>,
+    /// Arc pointer address → back-reference index.
+    seen: HashMap<usize, u64>,
+    next_ref: u64,
+}
+
+impl Default for ValueWriter {
+    fn default() -> Self {
+        ValueWriter::new()
+    }
+}
+
+impl ValueWriter {
+    /// Fresh writer.
+    pub fn new() -> ValueWriter {
+        ValueWriter {
+            out: Vec::with_capacity(256),
+            seen: HashMap::new(),
+            next_ref: 0,
+        }
+    }
+
+    /// Consume and return the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+
+    fn tag(&mut self, t: Tag) {
+        self.out.push(t as u8);
+    }
+
+    fn uv(&mut self, v: u64) {
+        write_uvarint(&mut self.out, v);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.uv(b.len() as u64);
+        self.out.extend_from_slice(b);
+    }
+
+    /// If `ptr` was already written, emit a back-reference and return
+    /// true. Otherwise register it (claiming the next index — indices are
+    /// assigned in first-encounter order on both sides).
+    fn share(&mut self, ptr: usize) -> bool {
+        if let Some(&idx) = self.seen.get(&ptr) {
+            self.tag(Tag::BackRef);
+            self.uv(idx);
+            return true;
+        }
+        self.seen.insert(ptr, self.next_ref);
+        self.next_ref += 1;
+        false
+    }
+
+    /// Write one value.
+    pub fn write_value(&mut self, v: &Value) -> Result<(), SerError> {
+        match v {
+            Value::Nil => self.tag(Tag::Nil),
+            Value::Bool(false) => self.tag(Tag::False),
+            Value::Bool(true) => self.tag(Tag::True),
+            Value::Int(i) => {
+                if (0..SMALL_INT_RANGE as i64).contains(i) {
+                    self.out.push(SMALL_INT_BASE + *i as u8);
+                } else {
+                    self.tag(Tag::Int);
+                    self.uv(zigzag(*i));
+                }
+            }
+            Value::Float(f) => {
+                self.tag(Tag::Float);
+                self.out.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Char(c) => {
+                self.tag(Tag::Char);
+                self.uv(*c as u64);
+            }
+            Value::Str(s) => {
+                if self.share(Arc::as_ptr(s) as *const u8 as usize) {
+                    return Ok(());
+                }
+                self.tag(Tag::Str);
+                self.bytes(s.as_bytes());
+            }
+            Value::Symbol(s) => {
+                self.tag(Tag::Symbol);
+                self.bytes(s.name().as_bytes());
+            }
+            Value::Keyword(s) => {
+                self.tag(Tag::Keyword);
+                self.bytes(s.name().as_bytes());
+            }
+            Value::List(items) => {
+                if self.share(Arc::as_ptr(items) as usize) {
+                    return Ok(());
+                }
+                self.tag(Tag::List);
+                self.uv(items.len() as u64);
+                for item in items.iter() {
+                    self.write_value(item)?;
+                }
+            }
+            Value::Vector(items) => {
+                if self.share(Arc::as_ptr(items) as usize) {
+                    return Ok(());
+                }
+                self.tag(Tag::Vector);
+                self.uv(items.len() as u64);
+                for item in items.iter() {
+                    self.write_value(item)?;
+                }
+            }
+            Value::Map(m) => {
+                if self.share(Arc::as_ptr(m) as usize) {
+                    return Ok(());
+                }
+                self.tag(Tag::Map);
+                self.uv(m.len() as u64);
+                for (k, val) in m.iter() {
+                    self.write_value(k)?;
+                    self.write_value(val)?;
+                }
+            }
+            Value::Func(f) => {
+                if let Some(c) = f.as_any().downcast_ref::<Closure>() {
+                    if self.share(Arc::as_ptr(f) as *const u8 as usize) {
+                        return Ok(());
+                    }
+                    self.tag(Tag::Closure);
+                    self.out.extend_from_slice(&c.program.id.to_le_bytes());
+                    self.uv(c.chunk as u64);
+                    self.uv(c.captures.len() as u64);
+                    for cap in c.captures.iter() {
+                        self.write_value(cap)?;
+                    }
+                } else if let Some(n) = f.as_any().downcast_ref::<NativeFn>() {
+                    self.tag(Tag::Native);
+                    self.bytes(n.name.as_bytes());
+                } else {
+                    return Err(SerError::new(format!(
+                        "cannot serialize function {}",
+                        f.callable_name()
+                    )));
+                }
+            }
+            Value::Opaque(o) => {
+                if let Some(fut) = o.as_any().downcast_ref::<FutureVal>() {
+                    // §4.1: "passing any future to a Java library or a
+                    // BlueBox service will cause that future to be
+                    // determined" — serialization is exactly that
+                    // boundary, so block until determination. (For fiber
+                    // continuations the GVM already determined every
+                    // reachable future at capture, making this a no-op.)
+                    match fut.wait() {
+                        Ok(v) => return self.write_value(&v),
+                        Err(e) => {
+                            return Err(SerError::new(format!(
+                                "cannot serialize failed future: {e}"
+                            )))
+                        }
+                    }
+                }
+                if let Some(obj) = o.as_any().downcast_ref::<ObjectVal>() {
+                    if self.share(Arc::as_ptr(o) as *const u8 as usize) {
+                        return Ok(());
+                    }
+                    self.tag(Tag::Object);
+                    self.bytes(obj.class.as_bytes());
+                    let fields = obj.snapshot();
+                    self.uv(fields.len() as u64);
+                    for (k, val) in fields.iter() {
+                        self.write_value(k)?;
+                        self.write_value(val)?;
+                    }
+                } else if let Some(k) = o.as_any().downcast_ref::<ContinuationVal>() {
+                    self.tag(Tag::Continuation);
+                    self.write_state(&k.state)?;
+                } else {
+                    return Err(SerError::new(format!(
+                        "cannot serialize opaque value of type {}",
+                        o.opaque_type()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Write a complete fiber state.
+    pub fn write_state(&mut self, state: &FiberState) -> Result<(), SerError> {
+        self.uv(state.next_restart_id);
+        // Extension map.
+        self.uv(state.ext.0.len() as u64);
+        for (k, v) in &state.ext.0 {
+            self.bytes(k.name().as_bytes());
+            self.write_value(v)?;
+        }
+        // Handlers.
+        self.uv(state.dyn_state.handlers.len() as u64);
+        for h in &state.dyn_state.handlers {
+            self.write_value(&h.func)?;
+        }
+        // Restarts.
+        self.uv(state.dyn_state.restarts.len() as u64);
+        for r in &state.dyn_state.restarts {
+            if r.foreign {
+                return Err(SerError::new(
+                    "foreign restart entries cannot be persisted",
+                ));
+            }
+            self.uv(r.id);
+            self.bytes(r.name.name().as_bytes());
+            self.uv(r.frame_depth as u64);
+            self.uv(r.stack_depth as u64);
+            self.uv(r.target_pc as u64);
+            self.uv(r.handlers_len as u64);
+            self.uv(r.restarts_len as u64);
+        }
+        // Frames.
+        self.uv(state.frames.len() as u64);
+        for f in &state.frames {
+            self.out.extend_from_slice(&f.program.id.to_le_bytes());
+            self.uv(f.chunk as u64);
+            self.uv(f.pc as u64);
+            self.uv(f.locals.len() as u64);
+            for v in &f.locals {
+                self.write_value(v)?;
+            }
+            self.uv(f.stack.len() as u64);
+            for v in &f.stack {
+                self.write_value(v)?;
+            }
+            // Captures are shared with the closure object; the sharing
+            // table keeps this from doubling the payload.
+            if self.share(Arc::as_ptr(&f.captures) as usize) {
+                continue;
+            }
+            self.tag(Tag::Vector);
+            self.uv(f.captures.len() as u64);
+            for v in f.captures.iter() {
+                self.write_value(v)?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,143 @@
+//! The Vinz prelude: the parts of the workflow library written in Gozer
+//! itself, loaded into every node GVM before the workflow source.
+//!
+//! This includes the `^task-var^` reader macro exactly as Listing 5
+//! shows it, the `for-each`/`parallel` distribution macros of §3.5
+//! (expanding to the fork/yield pattern of Listing 3), `deftaskvar`
+//! (§3.6), `with-handler`/`defhandler` support (§3.7), and the service
+//! response plumbing used by `deflink`-generated stubs (§3.3).
+
+/// Gozer source, loaded by `Inner::node_runtime`.
+pub const VINZ_PRELUDE: &str = r#"
+;;; ---- task variables (Listing 5) ---------------------------------------
+;; ^foo^ reads as (%get-task-var 'foo^); writes go through setf, which the
+;; compiler rewrites to (%set-task-var 'foo^ v).
+(set-macro-character #\^
+  (lambda (the-stream c)
+    (declare (ignore c))
+    (let ((var-name (read the-stream t nil t)))
+      (let ((var-str (symbol-name var-name)))
+        (unless (. var-str (endsWith "^"))
+          (error "Task vars must be wrapped in ^"))
+        `(%get-task-var ',var-name))))
+  t)
+
+(defmacro deftaskvar (name &optional doc)
+  "Declare a task variable shared by all fibers of a task (see ~s)."
+  `(%register-task-var ',name))
+
+;;; ---- messages and responses (Listing 2 support) ------------------------
+(defun create-message (operation)
+  "Create an empty service message for OPERATION."
+  (create-object "message" "__operation" operation))
+
+(defun parse-wsdl-response (response)
+  "Extract the body of a service RESPONSE map, signaling service faults
+as conditions whose designators include the fault's QName (so defhandler
+:code clauses can match them)."
+  (let ((fault (get response :fault-code)))
+    (if fault
+        (error (make-condition
+                 :types (list fault "service-fault" "error")
+                 :message (get response :fault-message)))
+        (get response :body))))
+
+;;; ---- condition handling (Listing 6) -------------------------------------
+(defmacro with-handler (handler &rest body)
+  "Run BODY with the named HANDLER (from defhandler) active."
+  `(handler-bind (lambda (c) (%run-handler ,handler c))
+     ,@body))
+
+;;; ---- fiber termination helpers (the §3.7 actions, callable directly) ----
+(defun break-fiber ()
+  "Terminate the current fiber cleanly, returning nil to its parent."
+  (%break-fiber))
+
+(defun terminate-task (&rest args)
+  "Terminate the current fiber and the whole task with an error status."
+  (apply #'%terminate-task args))
+
+;;; ---- for-each / parallel (§3.5, Listing 3) --------------------------------
+(defmacro for-each (spec &rest body)
+  "(for-each (VAR in SEQ [:chunk-size N]) BODY...): run BODY for each
+element of SEQ in its own distributed fiber, respecting the spawn limit;
+returns the collected results. With :chunk-size, elements are grouped and
+each chunk's members run as local futures inside one fiber (combined
+distributed + local concurrency)."
+  (let ((var (first spec))
+        (seq (third spec))
+        (chunk (second (member :chunk-size spec))))
+    (cond ((equal chunk :auto)
+           `(%for-each-adaptive ,seq (lambda (,var) ,@body)))
+          (chunk
+           `(%for-each-chunked ,seq (lambda (,var) ,@body) ,chunk))
+          (t
+           `(%for-each ,seq (lambda (,var) ,@body))))))
+
+(defun %for-each (items func)
+  (if (is-fiber-thread)
+      (%for-each-here items func)
+      ;; From a background thread the fiber cannot yield: fork a fresh
+      ;; fiber to run the loop and join it synchronously (§3.5).
+      (join-process (fork-and-exec (lambda () (%for-each-here items func))))))
+
+(defun %for-each-here (items func)
+  ;; The Listing 3 expansion: one fork per element, one yield per child,
+  ;; with at most spawn-limit children outstanding at a time.
+  (let ((limit (%spawn-limit))
+        (children nil)
+        (outstanding 0))
+    (dolist (item (seq->list items))
+      (when (>= outstanding limit)
+        (yield {:reason :children})
+        (setq outstanding (- outstanding 1)))
+      (append! children (fork-and-exec func :argument item :notify-parent t))
+      (setq outstanding (+ outstanding 1)))
+    (dotimes (i outstanding)
+      (yield {:reason :children}))
+    (collect-child-results children)))
+
+(defun %for-each-chunked (items func chunk-size)
+  (apply #'append
+         (%for-each (%chunk items chunk-size)
+                    (lambda (chunk)
+                      (mapcar #'touch
+                              (mapcar (lambda (x) (future (funcall func x)))
+                                      chunk))))))
+
+(defun %for-each-adaptive (items func)
+  "Dynamic chunk sizing (§5 future work: 'the for-each chunking function
+should also dynamically optimize chunk sizes based on the processing time
+of the body'): run the first element locally to measure the body, then
+size chunks so each fiber carries roughly 25 ms of work."
+  (let ((items (seq->list items)))
+    (if (null items)
+        nil
+        (let* ((t0 (%now-millis))
+               (first-result (funcall func (first items)))
+               (elapsed (max 1 (- (%now-millis) t0)))
+               (chunk (max 1 (min 64 (floor (/ 25 elapsed))))))
+          (if (null (rest items))
+              (list first-result)
+              (cons first-result
+                    (if (= chunk 1)
+                        (%for-each (rest items) func)
+                        (%for-each-chunked (rest items) func chunk))))))))
+
+(defmacro parallel (&rest forms)
+  "Execute every form in its own fiber; return the list of results (§3.5)."
+  `(%parallel (list ,@(mapcar (lambda (f) (list 'lambda nil f)) forms))))
+
+(defun %parallel (thunks)
+  (if (is-fiber-thread)
+      (%parallel-here thunks)
+      (join-process (fork-and-exec (lambda () (%parallel-here thunks))))))
+
+(defun %parallel-here (thunks)
+  (let ((children nil))
+    (dolist (th thunks)
+      (append! children (fork-and-exec th :notify-parent t)))
+    (dotimes (i (length children))
+      (yield {:reason :children}))
+    (collect-child-results children)))
+"#;

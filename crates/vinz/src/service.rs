@@ -1,0 +1,1115 @@
+//! The workflow service: Vinz wraps a Gozer program as a BlueBox service
+//! exposing the Table 1 operations (Start, Run, Call, Terminate,
+//! RunFiber, AwakeFiber, ResumeFromCall, JoinProcess).
+//!
+//! Execution model (paper §3.1): a *task* is one running workflow; it
+//! contains *fibers*, each a Gozer flow of control advancing on at most
+//! one node at a time. A fiber runs inside a `RunFiber` message handler
+//! until it completes or suspends; suspension persists the continuation
+//! to the shared store, and one of the resume operations later restores
+//! it — usually on a different instance, because the message queue load
+//! balances freely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use bluebox::{Cluster, Fault, Message, ServiceCtx};
+use gozer_compress::Codec;
+use gozer_lang::Value;
+use gozer_serial::{deserialize_state, deserialize_value, serialize_state, serialize_value};
+use gozer_vm::{Condition, FiberState, Gvm, RunOutcome, Unwind, VmError};
+use parking_lot::RwLock;
+
+use crate::cache::FiberCache;
+use crate::locks::LockManager;
+use crate::store::StateStore;
+use crate::trace::{Trace, TraceKind};
+use crate::tracker::{TaskRecord, TaskStatus, TaskTracker};
+
+/// Node id used by the client-side (non-instance) runtime.
+const ADMIN_NODE: u32 = u32::MAX;
+
+/// Deployment configuration.
+#[derive(Debug, Clone)]
+pub struct VinzConfig {
+    /// Default spawn limit for `for-each`/`parallel` (§3.5). Workflows
+    /// may adjust it dynamically with `set-spawn-limit`.
+    pub spawn_limit: usize,
+    /// Compression codec for persisted fiber state (§4.2).
+    pub codec: Codec,
+    /// Per-node fiber cache capacity.
+    pub cache_capacity: usize,
+    /// Timeout for synchronous service calls.
+    pub sync_call_timeout: Duration,
+    /// How long RunFiber/ResumeFromCall wait for the fiber lock before
+    /// re-queuing themselves.
+    pub fiber_lock_timeout: Duration,
+    /// The §5 "strict limit on how long [an AwakeFiber] will wait for its
+    /// turn" before giving up and re-queuing.
+    pub awake_wait_limit: Duration,
+    /// Future-pool workers per node GVM.
+    pub future_pool_size: usize,
+}
+
+impl Default for VinzConfig {
+    fn default() -> Self {
+        VinzConfig {
+            spawn_limit: 8,
+            codec: Codec::Deflate,
+            cache_capacity: 64,
+            sync_call_timeout: Duration::from_secs(10),
+            fiber_lock_timeout: Duration::from_secs(10),
+            awake_wait_limit: Duration::from_millis(50),
+            future_pool_size: 2,
+        }
+    }
+}
+
+/// Vinz-level counters.
+#[derive(Debug, Default)]
+pub struct VinzMetrics {
+    /// Fiber states persisted.
+    pub persist_count: AtomicU64,
+    /// Bytes of persisted (compressed) fiber state.
+    pub persist_bytes: AtomicU64,
+    /// Fiber loads that went to the store (cache misses).
+    pub load_count: AtomicU64,
+    /// RunFiber executions.
+    pub fibers_run: AtomicU64,
+    /// Resumptions (AwakeFiber + ResumeFromCall + JoinProcess).
+    pub resumes: AtomicU64,
+    /// AwakeFiber lock-wait give-ups (§5 burstiness symptom).
+    pub awake_retries: AtomicU64,
+    /// Tasks started.
+    pub tasks_started: AtomicU64,
+    /// Task-variable cache hits / misses.
+    pub taskvar_hits: AtomicU64,
+    /// Task-variable reads served from the store.
+    pub taskvar_misses: AtomicU64,
+}
+
+/// One node's runtime: a GVM (the "JVM" of that node) and its fiber
+/// cache.
+pub struct NodeRuntime {
+    /// Node id.
+    pub node_id: u32,
+    /// The node's VM, with the workflow source loaded.
+    pub gvm: Arc<Gvm>,
+    /// The node's fiber cache (§4.2).
+    pub cache: FiberCache,
+}
+
+/// Deployment errors.
+#[derive(Debug, Clone)]
+pub struct VinzError(pub String);
+
+impl std::fmt::Display for VinzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vinz error: {}", self.0)
+    }
+}
+
+impl std::error::Error for VinzError {}
+
+pub(crate) struct Inner {
+    pub name: String,
+    pub source: String,
+    pub cluster: Arc<Cluster>,
+    pub store: Arc<dyn StateStore>,
+    pub locks: Arc<dyn LockManager>,
+    pub config: VinzConfig,
+    pub tracker: TaskTracker,
+    pub trace: Trace,
+    pub metrics: VinzMetrics,
+    nodes: RwLock<HashMap<u32, Arc<NodeRuntime>>>,
+    next_task: AtomicU64,
+    next_fiber: AtomicU64,
+}
+
+/// A deployed workflow service.
+#[derive(Clone)]
+pub struct WorkflowService {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl WorkflowService {
+    /// Deploy `source` as the workflow service `name` on `cluster`.
+    ///
+    /// The source is compiled eagerly on an admin runtime so deployment
+    /// fails fast on compile errors; each node instance re-loads the same
+    /// source lazily, which is what lets migrated continuations re-link
+    /// (program ids are content-derived).
+    pub fn deploy(
+        cluster: &Arc<Cluster>,
+        name: &str,
+        source: &str,
+        store: Arc<dyn StateStore>,
+        locks: Arc<dyn LockManager>,
+        config: VinzConfig,
+    ) -> Result<WorkflowService, VinzError> {
+        let inner = Arc::new(Inner {
+            name: name.to_string(),
+            source: source.to_string(),
+            cluster: cluster.clone(),
+            store,
+            locks,
+            config,
+            tracker: TaskTracker::new(),
+            trace: Trace::new(),
+            metrics: VinzMetrics::default(),
+            nodes: RwLock::new(HashMap::new()),
+            next_task: AtomicU64::new(1),
+            next_fiber: AtomicU64::new(1),
+        });
+        // Fail fast on compile errors.
+        inner.node_runtime(ADMIN_NODE)?;
+        let handler = WorkflowHandler {
+            inner: Arc::downgrade(&inner),
+        };
+        cluster.register_service(name, None, Arc::new(handler));
+        Ok(WorkflowService { inner })
+    }
+
+    /// Spawn service instances on a node (threads competing for this
+    /// service's queue).
+    pub fn spawn_instances(&self, node_id: u32, count: usize) {
+        self.inner
+            .cluster
+            .spawn_instances(&self.inner.name, node_id, count);
+    }
+
+    /// Asynchronously begin execution of a workflow, returning its task
+    /// id (the Start operation).
+    pub fn start(
+        &self,
+        function: &str,
+        args: Vec<Value>,
+        deadline: Option<Duration>,
+    ) -> Result<String, VinzError> {
+        let admin = self.inner.node_runtime(ADMIN_NODE)?;
+        let body = serialize_value(&Value::list(args), self.inner.config.codec)
+            .map_err(|e| VinzError(e.to_string()))?;
+        let mut msg =
+            Message::new(&self.inner.name, "Start", body).header("function", function);
+        if let Some(d) = deadline {
+            msg = msg.header("deadline-ms", d.as_millis().to_string());
+            msg = msg.with_deadline(Instant::now() + d);
+        }
+        let reply = self
+            .inner
+            .cluster
+            .call(msg, Duration::from_secs(30))
+            .map_err(|e| VinzError(format!("Start failed: {e}")))?;
+        let _ = admin;
+        Ok(String::from_utf8_lossy(&reply).into_owned())
+    }
+
+    /// Synchronously execute a workflow, returning its record (the Run
+    /// operation, implemented client-side against the tracker so that a
+    /// single-instance deployment cannot deadlock on itself).
+    pub fn run(
+        &self,
+        function: &str,
+        args: Vec<Value>,
+        timeout: Duration,
+    ) -> Result<TaskRecord, VinzError> {
+        let task = self.start(function, args, None)?;
+        self.wait(&task, timeout)
+            .ok_or_else(|| VinzError(format!("task {task} did not finish in time")))
+    }
+
+    /// Synchronously execute a workflow, returning its last result (the
+    /// Call operation).
+    pub fn call(
+        &self,
+        function: &str,
+        args: Vec<Value>,
+        timeout: Duration,
+    ) -> Result<Value, VinzError> {
+        let rec = self.run(function, args, timeout)?;
+        match rec.status {
+            TaskStatus::Completed(v) => Ok(v),
+            TaskStatus::Failed(c) => Err(VinzError(format!("task failed: {c}"))),
+            TaskStatus::Terminated(c) => Err(VinzError(format!("task terminated: {c}"))),
+            TaskStatus::Running => unreachable!("wait returned a non-final record"),
+        }
+    }
+
+    /// Management operation: terminate a running task (the Terminate
+    /// operation).
+    pub fn terminate(&self, task_id: &str) {
+        self.inner.cluster.send(
+            Message::new(&self.inner.name, "Terminate", Vec::new()).header("task-id", task_id),
+        );
+    }
+
+    /// Block until the task finishes.
+    pub fn wait(&self, task_id: &str, timeout: Duration) -> Option<TaskRecord> {
+        self.inner.tracker.wait(task_id, timeout)
+    }
+
+    /// Task status snapshot.
+    pub fn status(&self, task_id: &str) -> Option<TaskStatus> {
+        self.inner.tracker.status(task_id)
+    }
+
+    /// The lifetime trace (enable with [`WorkflowService::set_tracing`]).
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// Toggle lifetime tracing.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.trace.set_enabled(on);
+    }
+
+    /// Vinz metrics.
+    pub fn metrics(&self) -> &VinzMetrics {
+        &self.inner.metrics
+    }
+
+    /// Task tracker (records, durations, fiber counts).
+    pub fn tracker(&self) -> &TaskTracker {
+        &self.inner.tracker
+    }
+
+    /// Per-node runtimes created so far (for cache statistics).
+    pub fn node_runtimes(&self) -> Vec<Arc<NodeRuntime>> {
+        self.inner
+            .nodes
+            .read()
+            .values()
+            .filter(|n| n.node_id != ADMIN_NODE)
+            .cloned()
+            .collect()
+    }
+
+    /// The underlying store (for experiment instrumentation).
+    pub fn store(&self) -> &Arc<dyn StateStore> {
+        &self.inner.store
+    }
+}
+
+struct WorkflowHandler {
+    inner: Weak<Inner>,
+}
+
+impl bluebox::Handler for WorkflowHandler {
+    fn handle(&self, ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, Fault> {
+        let Some(inner) = self.inner.upgrade() else {
+            return Err(Fault::new("{vinz}Gone", "workflow service was dropped"));
+        };
+        let result = match msg.operation.as_str() {
+            "Start" => inner.op_start(ctx, msg),
+            "Run" => inner.op_run(ctx, msg),
+            "Call" => inner.op_call(ctx, msg),
+            "Terminate" => inner.op_terminate(ctx, msg),
+            "RunFiber" => inner.op_run_fiber(ctx, msg),
+            "AwakeFiber" => inner.op_awake_fiber(ctx, msg),
+            "ResumeFromCall" => inner.op_resume_from_call(ctx, msg),
+            "JoinProcess" => inner.op_join_process(ctx, msg),
+            other => Err(VinzError(format!("unknown operation {other}"))),
+        };
+        result.map_err(|e| Fault::new("{vinz}OperationFailed", e.0))
+    }
+}
+
+impl Inner {
+    // ---- node runtimes ------------------------------------------------
+
+    pub(crate) fn node_runtime(self: &Arc<Inner>, node_id: u32) -> Result<Arc<NodeRuntime>, VinzError> {
+        if let Some(rt) = self.nodes.read().get(&node_id) {
+            return Ok(rt.clone());
+        }
+        // Build outside the lock (loading the source takes a moment);
+        // a racing duplicate is discarded.
+        let gvm = Gvm::with_pool_size(self.config.future_pool_size);
+        crate::natives::install_vinz(&gvm, Arc::downgrade(self), node_id);
+        gvm.load_str(crate::prelude::VINZ_PRELUDE, "vinz-prelude")
+            .map_err(|e| VinzError(format!("vinz prelude failed to load: {e}")))?;
+        // The unit name must be identical on every node so program ids
+        // (and therefore migrated continuations) line up.
+        gvm.load_str(&self.source, &format!("workflow:{}", self.name))
+            .map_err(|e| VinzError(format!("workflow source failed to load: {e}")))?;
+        let rt = Arc::new(NodeRuntime {
+            node_id,
+            gvm,
+            cache: FiberCache::new(self.config.cache_capacity),
+        });
+        let mut nodes = self.nodes.write();
+        Ok(nodes.entry(node_id).or_insert(rt).clone())
+    }
+
+    // ---- id helpers ----------------------------------------------------
+
+    fn new_task_id(&self) -> String {
+        format!("task-{}", self.next_task.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn new_fiber_id(&self, task_id: &str) -> String {
+        format!(
+            "{task_id}/f{}",
+            self.next_fiber.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    fn task_of(fiber_id: &str) -> &str {
+        fiber_id.split('/').next().unwrap_or(fiber_id)
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    fn fiber_version(&self, fiber_id: &str) -> Result<u64, VinzError> {
+        Ok(self
+            .store
+            .get(&format!("fiber-v/{fiber_id}"))
+            .map_err(|e| VinzError(e.to_string()))?
+            .map(|b| {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&b[..8.min(b.len())]);
+                u64::from_le_bytes(buf)
+            })
+            .unwrap_or(0))
+    }
+
+    /// Execution phase of a fiber, used to make the Table-1 operations
+    /// idempotent under the broker's at-least-once delivery: `initial`
+    /// (never run), `suspended` (awaiting a resume), `done`. A duplicate
+    /// RunFiber delivered after the fiber suspended must not re-enter it,
+    /// and a duplicate resume must not advance it twice.
+    pub(crate) fn set_phase(&self, fiber_id: &str, phase: &str) -> Result<(), VinzError> {
+        self.store
+            .put(&format!("fiber-p/{fiber_id}"), phase.as_bytes())
+            .map_err(|e| VinzError(e.to_string()))
+    }
+
+    pub(crate) fn get_phase(&self, fiber_id: &str) -> Result<String, VinzError> {
+        Ok(self
+            .store
+            .get(&format!("fiber-p/{fiber_id}"))
+            .map_err(|e| VinzError(e.to_string()))?
+            .map(|b| String::from_utf8_lossy(&b).into_owned())
+            .unwrap_or_else(|| "initial".to_string()))
+    }
+
+    /// Persist a fiber continuation (under the fiber lock).
+    pub(crate) fn save_fiber(
+        self: &Arc<Inner>,
+        rt: &NodeRuntime,
+        instance: u64,
+        fiber_id: &str,
+        state: FiberState,
+    ) -> Result<(), VinzError> {
+        let bytes = serialize_state(&state, self.config.codec)
+            .map_err(|e| VinzError(format!("persist {fiber_id}: {e}")))?;
+        let version = self.fiber_version(fiber_id)? + 1;
+        self.store
+            .put(&format!("fiber/{fiber_id}"), &bytes)
+            .map_err(|e| VinzError(e.to_string()))?;
+        self.store
+            .put(&format!("fiber-v/{fiber_id}"), &version.to_le_bytes())
+            .map_err(|e| VinzError(e.to_string()))?;
+        rt.cache.put_fiber(fiber_id, version, state);
+        self.metrics.persist_count.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .persist_bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.trace.record(
+            rt.node_id,
+            instance,
+            Inner::task_of(fiber_id),
+            fiber_id,
+            TraceKind::Persist(bytes.len()),
+        );
+        Ok(())
+    }
+
+    /// Load a fiber continuation, trying the node cache first (§4.2).
+    fn load_fiber(
+        self: &Arc<Inner>,
+        rt: &NodeRuntime,
+        instance: u64,
+        fiber_id: &str,
+    ) -> Result<FiberState, VinzError> {
+        let version = self.fiber_version(fiber_id)?;
+        if let Some(state) = rt.cache.get_fiber(fiber_id, version) {
+            self.trace.record(
+                rt.node_id,
+                instance,
+                Inner::task_of(fiber_id),
+                fiber_id,
+                TraceKind::Load(true),
+            );
+            return Ok(state);
+        }
+        let bytes = self
+            .store
+            .get(&format!("fiber/{fiber_id}"))
+            .map_err(|e| VinzError(e.to_string()))?
+            .ok_or_else(|| VinzError(format!("fiber {fiber_id} has no persisted state")))?;
+        let state = deserialize_state(&bytes, &rt.gvm)
+            .map_err(|e| VinzError(format!("load {fiber_id}: {e}")))?;
+        rt.cache.put_fiber(fiber_id, version, state.clone());
+        self.metrics.load_count.fetch_add(1, Ordering::Relaxed);
+        self.trace.record(
+            rt.node_id,
+            instance,
+            Inner::task_of(fiber_id),
+            fiber_id,
+            TraceKind::Load(false),
+        );
+        Ok(state)
+    }
+
+    /// Read write-once data through the immutable cache.
+    pub(crate) fn load_immutable(
+        &self,
+        rt: &NodeRuntime,
+        key: &str,
+    ) -> Result<Option<Vec<u8>>, VinzError> {
+        if let Some(data) = rt.cache.get_immutable(key) {
+            return Ok(Some(data));
+        }
+        let data = self.store.get(key).map_err(|e| VinzError(e.to_string()))?;
+        if let Some(ref d) = data {
+            rt.cache.put_immutable(key, d.clone());
+        }
+        Ok(data)
+    }
+
+    // ---- operations (Table 1) -------------------------------------------
+
+    /// Start: create the task and main fiber, persist the initial
+    /// continuation, enqueue RunFiber, return the task id (§3.1).
+    fn op_start(self: &Arc<Inner>, ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, VinzError> {
+        let rt = self.node_runtime(ctx.node_id)?;
+        let function = msg.get_header("function").unwrap_or("main");
+        let func = rt
+            .gvm
+            .function(function)
+            .ok_or_else(|| VinzError(format!("workflow function {function} is not defined")))?;
+        let args = deserialize_value(&msg.body, &rt.gvm)
+            .map_err(|e| VinzError(format!("bad Start arguments: {e}")))?;
+        let args: Vec<Value> = args.as_list().unwrap_or(&[]).to_vec();
+
+        let task_id = self.new_task_id();
+        let fiber_id = format!("{task_id}/f0");
+        // Anchor the deadline at submission (message enqueue), not at
+        // Start processing: queueing delay counts against the deadline.
+        let deadline = msg
+            .get_header("deadline-ms")
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(|ms| msg.enqueued_at + Duration::from_millis(ms));
+        self.tracker.task_started(&task_id, deadline);
+        self.tracker.fiber_created(&task_id);
+        self.metrics.tasks_started.fetch_add(1, Ordering::Relaxed);
+
+        let mut state = rt
+            .gvm
+            .fiber_for(&func, args)
+            .map_err(|e| VinzError(format!("cannot start {function}: {e}")))?;
+        state.ext.set("task-id", Value::str(&task_id));
+        state.ext.set("fiber-id", Value::str(&fiber_id));
+        state.ext.set("root", Value::Bool(true));
+        state
+            .ext
+            .set("spawn-limit", Value::Int(self.config.spawn_limit as i64));
+        if let Some(d) = msg.get_header("deadline-ms") {
+            state.ext.set("deadline-ms", Value::str(d));
+        }
+        // Persist the (immutable) task definition: consulted by every
+        // fiber execution, so the per-node immutable cache serves it
+        // after the first read — the second compartment of the §4.2
+        // cache measurements.
+        let mut def = gozer_lang::AssocMap::new();
+        def.insert(Value::keyword("function"), Value::str(function));
+        def.insert(
+            Value::keyword("deadline-ms"),
+            msg.get_header("deadline-ms")
+                .map(Value::str)
+                .unwrap_or(Value::Nil),
+        );
+        let def_bytes = serialize_value(&Value::Map(Arc::new(def)), self.config.codec)
+            .map_err(|e| VinzError(e.to_string()))?;
+        let def_key = format!("task-def/{task_id}");
+        self.store
+            .put(&def_key, &def_bytes)
+            .map_err(|e| VinzError(e.to_string()))?;
+        rt.cache.put_immutable(&def_key, def_bytes);
+
+        self.save_fiber(&rt, ctx.instance_id, &fiber_id, state)?;
+        self.set_phase(&fiber_id, "initial")?;
+        self.trace
+            .record(ctx.node_id, ctx.instance_id, &task_id, &fiber_id, TraceKind::Start);
+        self.send_run_fiber(&fiber_id, deadline);
+        Ok(task_id.into_bytes())
+    }
+
+    pub(crate) fn send_run_fiber(&self, fiber_id: &str, deadline: Option<Instant>) {
+        let mut msg = Message::new(&self.name, "RunFiber", Vec::new())
+            .header("fiber-id", fiber_id);
+        if let Some(d) = deadline {
+            msg = msg.with_deadline(d);
+        }
+        self.cluster.send(msg);
+    }
+
+    /// Run: Start then wait for completion (synchronous; occupies this
+    /// instance's slot, so deployments using the service-level Run need
+    /// at least two instances).
+    fn op_run(self: &Arc<Inner>, ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, VinzError> {
+        let task_id_bytes = self.op_start(ctx, msg)?;
+        let task_id = String::from_utf8_lossy(&task_id_bytes).into_owned();
+        self.tracker
+            .wait(&task_id, Duration::from_secs(600))
+            .ok_or_else(|| VinzError(format!("task {task_id} did not finish")))?;
+        Ok(task_id_bytes)
+    }
+
+    /// Call: Run, then return the final result.
+    fn op_call(self: &Arc<Inner>, ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, VinzError> {
+        let task_id_bytes = self.op_run(ctx, msg)?;
+        let task_id = String::from_utf8_lossy(&task_id_bytes).into_owned();
+        match self.tracker.status(&task_id) {
+            Some(TaskStatus::Completed(v)) => {
+                serialize_value(&v, self.config.codec).map_err(|e| VinzError(e.to_string()))
+            }
+            Some(TaskStatus::Failed(c)) | Some(TaskStatus::Terminated(c)) => {
+                Err(VinzError(format!("{c}")))
+            }
+            other => Err(VinzError(format!("unexpected status {other:?}"))),
+        }
+    }
+
+    /// Terminate: flag the task; fibers notice at their next message
+    /// boundary (§3.7).
+    fn op_terminate(self: &Arc<Inner>, _ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, VinzError> {
+        let task_id = msg
+            .get_header("task-id")
+            .ok_or_else(|| VinzError("Terminate requires task-id".into()))?;
+        self.tracker.finish(
+            task_id,
+            TaskStatus::Terminated(Condition::new("terminated", "terminated by management request")),
+        );
+        Ok(Vec::new())
+    }
+
+    /// RunFiber: execute a fiber from its persisted continuation.
+    fn op_run_fiber(self: &Arc<Inner>, ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, VinzError> {
+        let fiber_id = msg
+            .get_header("fiber-id")
+            .ok_or_else(|| VinzError("RunFiber requires fiber-id".into()))?
+            .to_string();
+        let task_id = Inner::task_of(&fiber_id).to_string();
+        // Fibers of finished tasks terminate "in short order" (§3.7).
+        if self.task_finished(&task_id) {
+            self.tracker.fiber_finished(&task_id);
+            return Ok(Vec::new());
+        }
+        let Some(_guard) = self
+            .locks
+            .acquire(&format!("fiber/{fiber_id}"), self.config.fiber_lock_timeout)
+        else {
+            // Could not get the fiber; hand the message back to the queue.
+            self.cluster.send(msg.clone());
+            return Ok(Vec::new());
+        };
+        // At-least-once: a redelivered RunFiber for a fiber that has
+        // already run (and suspended or finished) must be dropped — the
+        // persisted continuation expects a *resume*, not a re-entry.
+        if self.get_phase(&fiber_id)? != "initial" {
+            return Ok(Vec::new());
+        }
+        let rt = self.node_runtime(ctx.node_id)?;
+        self.check_task_def(&rt, &task_id)?;
+        let state = self.load_fiber(&rt, ctx.instance_id, &fiber_id)?;
+        self.metrics.fibers_run.fetch_add(1, Ordering::Relaxed);
+        self.trace
+            .record(ctx.node_id, ctx.instance_id, &task_id, &fiber_id, TraceKind::RunFiber);
+        self.drive_fiber(ctx, &rt, &fiber_id, state, None)
+    }
+
+    /// AwakeFiber: resume a parent awaiting children (§3.5), with the §5
+    /// bounded lock wait.
+    fn op_awake_fiber(self: &Arc<Inner>, ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, VinzError> {
+        let fiber_id = msg
+            .get_header("fiber-id")
+            .ok_or_else(|| VinzError("AwakeFiber requires fiber-id".into()))?
+            .to_string();
+        let task_id = Inner::task_of(&fiber_id).to_string();
+        if self.task_finished(&task_id) {
+            return Ok(Vec::new());
+        }
+        let Some(_guard) = self
+            .locks
+            .acquire(&format!("fiber/{fiber_id}"), self.config.awake_wait_limit)
+        else {
+            // §5: give up and go back on the queue rather than hold the
+            // instance hostage.
+            self.metrics.awake_retries.fetch_add(1, Ordering::Relaxed);
+            self.trace
+                .record(ctx.node_id, ctx.instance_id, &task_id, &fiber_id, TraceKind::AwakeRetry);
+            self.cluster.send(msg.clone());
+            return Ok(Vec::new());
+        };
+        match self.get_phase(&fiber_id)?.as_str() {
+            // Fiber finished; a late or duplicate wake-up is meaningless.
+            "done" => return Ok(Vec::new()),
+            // The child finished before its parent even started (or
+            // before the parent's first suspension persisted): try again
+            // shortly.
+            "initial" => {
+                std::thread::sleep(Duration::from_millis(1));
+                self.cluster.send(msg.clone());
+                return Ok(Vec::new());
+            }
+            _ => {}
+        }
+        let rt = self.node_runtime(ctx.node_id)?;
+        self.check_task_def(&rt, &task_id)?;
+        let mut state = self.load_fiber(&rt, ctx.instance_id, &fiber_id)?;
+        // Deduplicate: each child's termination wake-up counts once, even
+        // when the broker redelivers it (at-least-once). The consumed set
+        // travels with the continuation.
+        if let Some(from) = msg.get_header("from-child") {
+            let consumed = state
+                .ext
+                .get("awakes-consumed")
+                .and_then(Value::as_list)
+                .map(<[Value]>::to_vec)
+                .unwrap_or_default();
+            if consumed.iter().any(|v| v.as_str() == Some(from)) {
+                return Ok(Vec::new());
+            }
+            let mut consumed = consumed;
+            consumed.push(Value::str(from));
+            state.ext.set("awakes-consumed", Value::list(consumed));
+        }
+        self.metrics.resumes.fetch_add(1, Ordering::Relaxed);
+        self.trace.record(
+            ctx.node_id,
+            ctx.instance_id,
+            &task_id,
+            &fiber_id,
+            TraceKind::Resume("awake".into()),
+        );
+        self.drive_fiber(ctx, &rt, &fiber_id, state, Some(Value::Nil))
+    }
+
+    /// ResumeFromCall: deliver a service reply to the fiber that made the
+    /// non-blocking request (§3.2).
+    fn op_resume_from_call(
+        self: &Arc<Inner>,
+        ctx: &ServiceCtx,
+        msg: &Message,
+    ) -> Result<Vec<u8>, VinzError> {
+        let correlation = msg
+            .get_header("correlation")
+            .ok_or_else(|| VinzError("ResumeFromCall requires correlation".into()))?
+            .to_string();
+        let corr_key = format!("corr/{correlation}");
+        let Some(fiber_bytes) = self.store.get(&corr_key).map_err(|e| VinzError(e.to_string()))?
+        else {
+            // Unknown or duplicate correlation (at-least-once delivery).
+            return Ok(Vec::new());
+        };
+        let fiber_id = String::from_utf8_lossy(&fiber_bytes).into_owned();
+        let task_id = Inner::task_of(&fiber_id).to_string();
+        if self.task_finished(&task_id) {
+            let _ = self.store.delete(&corr_key);
+            return Ok(Vec::new());
+        }
+        let Some(_guard) = self
+            .locks
+            .acquire(&format!("fiber/{fiber_id}"), self.config.fiber_lock_timeout)
+        else {
+            self.cluster.send(msg.clone());
+            return Ok(Vec::new());
+        };
+        match self.get_phase(&fiber_id)?.as_str() {
+            "done" => {
+                let _ = self.store.delete(&corr_key);
+                return Ok(Vec::new());
+            }
+            "initial" => {
+                // The reply won the race against the caller's suspension
+                // persist; retry shortly.
+                std::thread::sleep(Duration::from_millis(1));
+                self.cluster.send(msg.clone());
+                return Ok(Vec::new());
+            }
+            _ => {}
+        }
+        let _ = self.store.delete(&corr_key);
+        let rt = self.node_runtime(ctx.node_id)?;
+        self.check_task_def(&rt, &task_id)?;
+        // The resume value is the response map the generated deflink stubs
+        // hand to parse-wsdl-response.
+        let mut resp = gozer_lang::AssocMap::new();
+        if !msg.body.is_empty() {
+            let body = deserialize_value(&msg.body, &rt.gvm)
+                .map_err(|e| VinzError(format!("bad reply body: {e}")))?;
+            resp.insert(Value::keyword("body"), body);
+        }
+        if let Some(code) = msg.get_header("fault-code") {
+            resp.insert(Value::keyword("fault-code"), Value::str(code));
+            resp.insert(
+                Value::keyword("fault-message"),
+                Value::str(msg.get_header("fault-message").unwrap_or("")),
+            );
+        }
+        let resume = Value::Map(Arc::new(resp));
+        let state = self.load_fiber(&rt, ctx.instance_id, &fiber_id)?;
+        self.metrics.resumes.fetch_add(1, Ordering::Relaxed);
+        self.trace.record(
+            ctx.node_id,
+            ctx.instance_id,
+            &task_id,
+            &fiber_id,
+            TraceKind::Resume("service-call".into()),
+        );
+        self.drive_fiber(ctx, &rt, &fiber_id, state, Some(resume))
+    }
+
+    /// JoinProcess: resume a fiber waiting on another fiber's
+    /// termination, delivering the target's result.
+    fn op_join_process(self: &Arc<Inner>, ctx: &ServiceCtx, msg: &Message) -> Result<Vec<u8>, VinzError> {
+        let fiber_id = msg
+            .get_header("fiber-id")
+            .ok_or_else(|| VinzError("JoinProcess requires fiber-id".into()))?
+            .to_string();
+        let target = msg.get_header("target").unwrap_or("").to_string();
+        let task_id = Inner::task_of(&fiber_id).to_string();
+        if self.task_finished(&task_id) {
+            return Ok(Vec::new());
+        }
+        let Some(_guard) = self
+            .locks
+            .acquire(&format!("fiber/{fiber_id}"), self.config.fiber_lock_timeout)
+        else {
+            self.cluster.send(msg.clone());
+            return Ok(Vec::new());
+        };
+        match self.get_phase(&fiber_id)?.as_str() {
+            "done" => return Ok(Vec::new()),
+            "initial" => {
+                std::thread::sleep(Duration::from_millis(1));
+                self.cluster.send(msg.clone());
+                return Ok(Vec::new());
+            }
+            _ => {}
+        }
+        let rt = self.node_runtime(ctx.node_id)?;
+        self.check_task_def(&rt, &task_id)?;
+        let result = match self.load_immutable(&rt, &format!("result/{target}"))? {
+            Some(bytes) => deserialize_value(&bytes, &rt.gvm)
+                .map_err(|e| VinzError(format!("bad result for {target}: {e}")))?,
+            None => Value::Nil,
+        };
+        let mut state = self.load_fiber(&rt, ctx.instance_id, &fiber_id)?;
+        // Deduplicate redelivered join wake-ups by target.
+        {
+            let consumed = state
+                .ext
+                .get("joins-consumed")
+                .and_then(Value::as_list)
+                .map(<[Value]>::to_vec)
+                .unwrap_or_default();
+            if consumed.iter().any(|v| v.as_str() == Some(target.as_str())) {
+                return Ok(Vec::new());
+            }
+            let mut consumed = consumed;
+            consumed.push(Value::str(&target));
+            state.ext.set("joins-consumed", Value::list(consumed));
+        }
+        self.metrics.resumes.fetch_add(1, Ordering::Relaxed);
+        self.trace.record(
+            ctx.node_id,
+            ctx.instance_id,
+            &task_id,
+            &fiber_id,
+            TraceKind::Resume("join".into()),
+        );
+        self.drive_fiber(ctx, &rt, &fiber_id, state, Some(result))
+    }
+
+    // ---- fiber execution -------------------------------------------------
+
+    pub(crate) fn task_finished(&self, task_id: &str) -> bool {
+        self.tracker
+            .status(task_id)
+            .map(|s| s.is_final())
+            .unwrap_or(false)
+    }
+
+    /// Validate the task definition exists (every fiber execution
+    /// consults it, through the immutable cache).
+    fn check_task_def(&self, rt: &NodeRuntime, task_id: &str) -> Result<(), VinzError> {
+        match self.load_immutable(rt, &format!("task-def/{task_id}"))? {
+            Some(_) => Ok(()),
+            None => Err(VinzError(format!("task {task_id} has no definition"))),
+        }
+    }
+
+    /// Run or resume a fiber (the lock must be held by the caller) and
+    /// deal with the outcome: completion, suspension, break, terminate,
+    /// or failure.
+    fn drive_fiber(
+        self: &Arc<Inner>,
+        ctx: &ServiceCtx,
+        rt: &Arc<NodeRuntime>,
+        fiber_id: &str,
+        state: FiberState,
+        resume: Option<Value>,
+    ) -> Result<Vec<u8>, VinzError> {
+        let task_id = Inner::task_of(fiber_id).to_string();
+        // Capture identity metadata before the state is consumed.
+        let is_root = state.ext.get("root").map(Value::is_truthy).unwrap_or(false);
+        let parent = state
+            .ext
+            .get("parent-id")
+            .and_then(|v| v.as_str().map(str::to_owned));
+        let notify_parent = state
+            .ext
+            .get("notify-parent")
+            .map(Value::is_truthy)
+            .unwrap_or(false);
+
+        let outcome = match resume {
+            None => rt.gvm.run_fiber(state),
+            Some(v) => rt.gvm.resume_fiber(state, v),
+        };
+        match outcome {
+            Ok(RunOutcome::Done(value)) => {
+                self.finish_fiber(ctx, rt, fiber_id, &task_id, value, is_root, parent, notify_parent)?;
+            }
+            Ok(RunOutcome::Suspended(susp)) => {
+                let reason = suspension_reason(&susp.payload);
+                self.trace.record(
+                    ctx.node_id,
+                    ctx.instance_id,
+                    &task_id,
+                    fiber_id,
+                    TraceKind::Yield(reason.clone()),
+                );
+                // join suspensions register a waiter; racing completion is
+                // handled by checking for the result *after* registering.
+                if reason == "join" {
+                    let target = susp
+                        .payload
+                        .as_map()
+                        .and_then(|m| m.get(&Value::keyword("target")).cloned())
+                        .and_then(|v| v.as_str().map(str::to_owned))
+                        .ok_or_else(|| VinzError("join suspension without target".into()))?;
+                    self.save_fiber(rt, ctx.instance_id, fiber_id, susp.state)?;
+                    self.set_phase(fiber_id, "suspended")?;
+                    self.register_join_waiter(&target, fiber_id)?;
+                } else {
+                    self.save_fiber(rt, ctx.instance_id, fiber_id, susp.state)?;
+                    self.set_phase(fiber_id, "suspended")?;
+                }
+            }
+            Err(VmError::Unwind(Unwind::TerminateTask(cond))) => {
+                self.set_phase(fiber_id, "done")?;
+                self.tracker.fiber_finished(&task_id);
+                self.trace.record(
+                    ctx.node_id,
+                    ctx.instance_id,
+                    &task_id,
+                    fiber_id,
+                    TraceKind::TaskDone("terminated".into()),
+                );
+                self.tracker.finish(&task_id, TaskStatus::Terminated(cond));
+            }
+            Err(e) => {
+                // Unhandled condition: the fiber dies and, with it, the
+                // task (robust default — a lost child would otherwise hang
+                // its parent forever).
+                let cond = e.to_condition();
+                self.set_phase(fiber_id, "done")?;
+                self.tracker.fiber_finished(&task_id);
+                self.trace.record(
+                    ctx.node_id,
+                    ctx.instance_id,
+                    &task_id,
+                    fiber_id,
+                    TraceKind::TaskDone("failed".into()),
+                );
+                self.tracker.finish(&task_id, TaskStatus::Failed(cond));
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_fiber(
+        self: &Arc<Inner>,
+        ctx: &ServiceCtx,
+        rt: &Arc<NodeRuntime>,
+        fiber_id: &str,
+        task_id: &str,
+        value: Value,
+        is_root: bool,
+        parent: Option<String>,
+        notify_parent: bool,
+    ) -> Result<(), VinzError> {
+        // Results are write-once: prime the store and the local immutable
+        // cache.
+        let bytes = serialize_value(&value, self.config.codec)
+            .map_err(|e| VinzError(format!("result of {fiber_id}: {e}")))?;
+        let key = format!("result/{fiber_id}");
+        self.store
+            .put(&key, &bytes)
+            .map_err(|e| VinzError(e.to_string()))?;
+        rt.cache.put_immutable(&key, bytes);
+        rt.cache.evict_fiber(fiber_id);
+        self.set_phase(fiber_id, "done")?;
+        self.tracker.fiber_finished(task_id);
+        self.trace
+            .record(ctx.node_id, ctx.instance_id, task_id, fiber_id, TraceKind::FiberDone);
+
+        // Footnote 1 of the paper: fibers created by for-each/parallel
+        // notify their parent on termination; plain fork-and-exec fibers
+        // do not.
+        if notify_parent {
+            if let Some(parent_id) = &parent {
+                self.trace.record(
+                    ctx.node_id,
+                    ctx.instance_id,
+                    task_id,
+                    fiber_id,
+                    TraceKind::AwakeSent(parent_id.clone()),
+                );
+                // AwakeFiber messages are low priority (§5).
+                self.cluster.send(
+                    Message::new(&self.name, "AwakeFiber", Vec::new())
+                        .header("fiber-id", parent_id.as_str())
+                        .header("from-child", fiber_id)
+                        .with_priority(-1),
+                );
+            }
+        }
+        // Wake any join-process waiters.
+        self.notify_join_waiters(fiber_id)?;
+        if is_root {
+            // Record the trace event *before* finishing the task: the
+            // finish notification wakes waiting clients, who may read the
+            // trace immediately.
+            self.trace.record(
+                ctx.node_id,
+                ctx.instance_id,
+                task_id,
+                fiber_id,
+                TraceKind::TaskDone("completed".into()),
+            );
+            self.tracker
+                .finish(task_id, TaskStatus::Completed(value));
+        }
+        Ok(())
+    }
+
+    // ---- join bookkeeping -------------------------------------------------
+
+    /// Add `waiter` to `target`'s waiter list; if the target already
+    /// finished, wake immediately (registration-then-check closes the
+    /// race with a concurrent finish).
+    pub(crate) fn register_join_waiter(
+        self: &Arc<Inner>,
+        target: &str,
+        waiter: &str,
+    ) -> Result<(), VinzError> {
+        let key = format!("waiters/{target}");
+        {
+            let _guard = self
+                .locks
+                .acquire(&key, Duration::from_secs(10))
+                .ok_or_else(|| VinzError(format!("could not lock {key}")))?;
+            let mut list = self
+                .store
+                .get(&key)
+                .map_err(|e| VinzError(e.to_string()))?
+                .map(|b| String::from_utf8_lossy(&b).into_owned())
+                .unwrap_or_default();
+            if !list.is_empty() {
+                list.push(',');
+            }
+            list.push_str(waiter);
+            self.store
+                .put(&key, list.as_bytes())
+                .map_err(|e| VinzError(e.to_string()))?;
+        }
+        // Already done? Deliver the wake-up ourselves.
+        let done = self
+            .store
+            .get(&format!("result/{target}"))
+            .map_err(|e| VinzError(e.to_string()))?
+            .is_some();
+        if done {
+            self.notify_join_waiters(target)?;
+        }
+        Ok(())
+    }
+
+    fn notify_join_waiters(self: &Arc<Inner>, target: &str) -> Result<(), VinzError> {
+        let key = format!("waiters/{target}");
+        let waiters = {
+            let _guard = self
+                .locks
+                .acquire(&key, Duration::from_secs(10))
+                .ok_or_else(|| VinzError(format!("could not lock {key}")))?;
+            let list = self
+                .store
+                .get(&key)
+                .map_err(|e| VinzError(e.to_string()))?
+                .map(|b| String::from_utf8_lossy(&b).into_owned())
+                .unwrap_or_default();
+            self.store.delete(&key).map_err(|e| VinzError(e.to_string()))?;
+            list
+        };
+        for waiter in waiters.split(',').filter(|w| !w.is_empty()) {
+            self.cluster.send(
+                Message::new(&self.name, "JoinProcess", Vec::new())
+                    .header("fiber-id", waiter)
+                    .header("target", target),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Extract the reason keyword from a suspension payload (`{:reason
+/// :children}`-style maps); anything else is "manual".
+fn suspension_reason(payload: &Value) -> String {
+    payload
+        .as_map()
+        .and_then(|m| m.get(&Value::keyword("reason")).cloned())
+        .map(|v| match v {
+            Value::Keyword(k) => k.name().to_string(),
+            Value::Str(s) => s.to_string(),
+            other => format!("{other}"),
+        })
+        .unwrap_or_else(|| "manual".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspension_reason_parsing() {
+        let gvm = Gvm::with_pool_size(1);
+        let v = gvm.eval_str("{:reason :children}").unwrap();
+        assert_eq!(suspension_reason(&v), "children");
+        let v = gvm.eval_str("{:reason \"join\" :target \"t/f1\"}").unwrap();
+        assert_eq!(suspension_reason(&v), "join");
+        assert_eq!(suspension_reason(&Value::Nil), "manual");
+    }
+
+    #[test]
+    fn task_of_extracts_prefix() {
+        assert_eq!(Inner::task_of("task-3/f7"), "task-3");
+        assert_eq!(Inner::task_of("task-3"), "task-3");
+    }
+}

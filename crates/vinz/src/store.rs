@@ -1,0 +1,260 @@
+//! The shared persistence store (paper §4.2): "a shared NFS filesystem
+//! provides all instances with read and write access to this data".
+//!
+//! Two implementations of [`StateStore`]:
+//!
+//! * [`MemStore`] — in-process shared map, the fast default for tests and
+//!   benches (stands in for the enterprise NAS).
+//! * [`FileStore`] — a directory of files, one per key, giving the real
+//!   write-out/read-back IO path for the §4.2 compression experiment.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Store failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError(pub String);
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Shared key/value persistence with the operations Vinz needs.
+pub trait StateStore: Send + Sync {
+    /// Write (create or overwrite) a key.
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), StoreError>;
+    /// Read a key.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError>;
+    /// Delete a key (idempotent).
+    fn delete(&self, key: &str) -> Result<(), StoreError>;
+    /// Keys under a prefix.
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError>;
+    /// Total bytes written so far (for the §4.2 IO-cost accounting).
+    fn bytes_written(&self) -> u64;
+    /// Total bytes read so far.
+    fn bytes_read(&self) -> u64;
+}
+
+/// In-memory store shared by all simulated nodes.
+#[derive(Default)]
+pub struct MemStore {
+    map: RwLock<HashMap<String, Vec<u8>>>,
+    written: AtomicU64,
+    read: AtomicU64,
+    /// Optional per-byte artificial IO latency in nanoseconds, to model
+    /// NFS cost in benches.
+    pub write_nanos_per_byte: AtomicU64,
+}
+
+impl MemStore {
+    /// Fresh store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Fresh store with simulated IO latency (ns/byte on writes).
+    pub fn with_io_latency(write_nanos_per_byte: u64) -> MemStore {
+        let s = MemStore::new();
+        s.write_nanos_per_byte
+            .store(write_nanos_per_byte, Ordering::Relaxed);
+        s
+    }
+}
+
+impl StateStore for MemStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), StoreError> {
+        let per_byte = self.write_nanos_per_byte.load(Ordering::Relaxed);
+        if per_byte > 0 {
+            let ns = per_byte.saturating_mul(data.len() as u64);
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
+        self.written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.map.write().insert(key.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let v = self.map.read().get(key).cloned();
+        if let Some(ref data) = v {
+            self.read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        }
+        Ok(v)
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        self.map.write().remove(key);
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let mut keys: Vec<String> = self
+            .map
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.read.load(Ordering::Relaxed)
+    }
+}
+
+/// Directory-backed store: one file per key (slashes become `__`),
+/// emulating the shared NFS filesystem.
+pub struct FileStore {
+    dir: PathBuf,
+    written: AtomicU64,
+    read: AtomicU64,
+}
+
+impl FileStore {
+    /// Create (the directory is created if missing).
+    pub fn new(dir: impl Into<PathBuf>) -> Result<FileStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError(e.to_string()))?;
+        Ok(FileStore {
+            dir,
+            written: AtomicU64::new(0),
+            read: AtomicU64::new(0),
+        })
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        self.dir.join(key.replace('/', "__"))
+    }
+}
+
+impl StateStore for FileStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        // Write-then-rename for atomic visibility to other "nodes".
+        let tmp = self.path(&format!("{key}.tmp.{:x}", fastrand_u64()));
+        std::fs::write(&tmp, data).map_err(|e| StoreError(e.to_string()))?;
+        std::fs::rename(&tmp, self.path(key)).map_err(|e| StoreError(e.to_string()))
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        match std::fs::read(self.path(key)) {
+            Ok(data) => {
+                self.read.fetch_add(data.len() as u64, Ordering::Relaxed);
+                Ok(Some(data))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError(e.to_string())),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        match std::fs::remove_file(self.path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError(e.to_string())),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let mangled = prefix.replace('/', "__");
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir).map_err(|e| StoreError(e.to_string()))? {
+            let entry = entry.map_err(|e| StoreError(e.to_string()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(&mangled) && !name.contains(".tmp.") {
+                out.push(name.replace("__", "/"));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.read.load(Ordering::Relaxed)
+    }
+}
+
+/// Cheap thread-local PRNG for temp-file suffixes.
+fn fastrand_u64() -> u64 {
+    use std::cell::Cell;
+    thread_local! {
+        static STATE: Cell<u64> = Cell::new(0x853c49e6748fea9b ^ std::process::id() as u64);
+    }
+    STATE.with(|s| {
+        let mut x = s.get().wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        s.set(x);
+        x ^ (x >> 31)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn StateStore) {
+        assert_eq!(store.get("a/b").unwrap(), None);
+        store.put("a/b", b"hello").unwrap();
+        store.put("a/c", b"world").unwrap();
+        assert_eq!(store.get("a/b").unwrap(), Some(b"hello".to_vec()));
+        store.put("a/b", b"hello2").unwrap();
+        assert_eq!(store.get("a/b").unwrap(), Some(b"hello2".to_vec()));
+        assert_eq!(store.list("a/").unwrap(), vec!["a/b", "a/c"]);
+        store.delete("a/b").unwrap();
+        store.delete("a/b").unwrap(); // idempotent
+        assert_eq!(store.get("a/b").unwrap(), None);
+        assert!(store.bytes_written() >= 16);
+        assert!(store.bytes_read() >= 11);
+    }
+
+    #[test]
+    fn mem_store() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn file_store() {
+        let dir = std::env::temp_dir().join(format!("gozer-fs-test-{}", fastrand_u64()));
+        let store = FileStore::new(&dir).unwrap();
+        exercise(&store);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn mem_store_concurrent() {
+        let store = std::sync::Arc::new(MemStore::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        store.put(&format!("k/{t}/{i}"), &[t as u8; 32]).unwrap();
+                        assert!(store.get(&format!("k/{t}/{i}")).unwrap().is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.list("k/").unwrap().len(), 400);
+    }
+}

@@ -1,0 +1,94 @@
+//! Test/bench helpers: BlueBox services implemented in Rust that speak
+//! serialized Gozer values — stand-ins for the platform services a
+//! production workflow calls (security managers, pricing engines, ...).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bluebox::{Cluster, Fault, Message, ServiceCtx};
+use gozer_compress::Codec;
+use gozer_lang::Value;
+use gozer_serial::{deserialize_value, serialize_value};
+use gozer_vm::Gvm;
+use gozer_xml::ServiceDescription;
+
+/// Register a service whose handler takes `(operation, request-value)`
+/// and returns a reply value or a fault. The request value is the
+/// message's field map (the body Vinz's call natives send).
+pub fn register_value_service(
+    cluster: &Arc<Cluster>,
+    name: &str,
+    desc: Option<ServiceDescription>,
+    f: impl Fn(&str, Value) -> Result<Value, Fault> + Send + Sync + 'static,
+) {
+    // A tiny VM used only to decode/encode values on the service side.
+    let gvm = Gvm::with_pool_size(1);
+    cluster.register_service(
+        name,
+        desc,
+        Arc::new(move |_ctx: &ServiceCtx, msg: &Message| {
+            let request = if msg.body.is_empty() {
+                Value::Nil
+            } else {
+                deserialize_value(&msg.body, &gvm)
+                    .map_err(|e| Fault::new("{vinz}BadRequest", e.to_string()))?
+            };
+            let reply = f(&msg.operation, request)?;
+            serialize_value(&reply, Codec::Deflate)
+                .map_err(|e| Fault::new("{vinz}BadReply", e.to_string()))
+        }),
+    );
+}
+
+/// A slow echo-ish "compute" service: takes `{:n <int>}`-shaped requests,
+/// sleeps `latency`, replies with `n * n`. Used all over the benches.
+pub fn register_square_service(
+    cluster: &Arc<Cluster>,
+    name: &str,
+    instances_per_node: usize,
+    nodes: u32,
+    latency: Duration,
+) {
+    let desc = ServiceDescription::new(name, &format!("urn:{}", name.to_lowercase()))
+        .operation("Square", "Squares the field n.", &[("n", "int")]);
+    register_value_service(cluster, name, Some(desc), move |_op, req| {
+        std::thread::sleep(latency);
+        let n = req
+            .as_map()
+            .and_then(|m| m.get(&Value::str("n")).cloned())
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| Fault::new("{square}BadArg", "request needs field \"n\""))?;
+        Ok(Value::Int(n * n))
+    });
+    for node in 0..nodes {
+        cluster.spawn_instances(name, node, instances_per_node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_service_round_trip() {
+        let cluster = Cluster::new();
+        register_value_service(&cluster, "adder", None, |_op, req| {
+            let items = req.as_list().unwrap_or(&[]).to_vec();
+            let sum: i64 = items.iter().filter_map(Value::as_int).sum();
+            Ok(Value::Int(sum))
+        });
+        cluster.spawn_instances("adder", 0, 1);
+        let gvm = Gvm::with_pool_size(1);
+        let body = serialize_value(
+            &Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Codec::Deflate,
+        )
+        .unwrap();
+        let reply = cluster
+            .call(Message::new("adder", "Sum", body), Duration::from_secs(2))
+            .unwrap();
+        let v = deserialize_value(&reply, &gvm).unwrap();
+        assert_eq!(v, Value::Int(6));
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,155 @@
+//! Workflow lifetime tracing — the instrumentation behind Figure 1
+//! ("Sample Workflow Lifetime"): a timestamped record of every operation,
+//! suspension, persistence and resumption a task goes through.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// `Start` operation accepted.
+    Start,
+    /// A `RunFiber` began executing a fiber on an instance.
+    RunFiber,
+    /// A fiber suspended, with the suspension reason.
+    Yield(String),
+    /// Fiber state written to the persistence store (bytes written).
+    Persist(usize),
+    /// Fiber state loaded from store (true = served by the node cache).
+    Load(bool),
+    /// A fiber was resumed (via AwakeFiber / ResumeFromCall /
+    /// JoinProcess).
+    Resume(String),
+    /// A child fiber was forked.
+    Fork(String),
+    /// An AwakeFiber message was sent to a parent.
+    AwakeSent(String),
+    /// An AwakeFiber gave up waiting for the fiber lock and re-queued
+    /// itself (§5).
+    AwakeRetry,
+    /// A non-blocking service call was dispatched.
+    ServiceCall(String),
+    /// A fiber completed.
+    FiberDone,
+    /// The whole task completed.
+    TaskDone(String),
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// When.
+    pub at: Instant,
+    /// Node that recorded the event.
+    pub node: u32,
+    /// Instance that recorded the event.
+    pub instance: u64,
+    /// Task id.
+    pub task: String,
+    /// Fiber id ("-" for task-level events).
+    pub fiber: String,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+/// An append-only in-memory trace.
+#[derive(Default)]
+pub struct Trace {
+    events: Mutex<Vec<TraceEvent>>,
+    enabled: std::sync::atomic::AtomicBool,
+}
+
+impl Trace {
+    /// Disabled by default.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Turn recording on/off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Record (no-op while disabled).
+    pub fn record(&self, node: u32, instance: u64, task: &str, fiber: &str, kind: TraceKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.events.lock().push(TraceEvent {
+            at: Instant::now(),
+            node,
+            instance,
+            task: task.to_string(),
+            fiber: fiber.to_string(),
+            kind,
+        });
+    }
+
+    /// Snapshot all events in order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Clear the log.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Render the lifetime as indented text, one line per event, with
+    /// millisecond offsets from the first event — the Figure 1 shape.
+    pub fn render(&self) -> String {
+        let events = self.events();
+        let Some(first) = events.first() else {
+            return String::new();
+        };
+        let t0 = first.at;
+        let mut out = String::new();
+        for e in &events {
+            let ms = e.at.duration_since(t0).as_micros() as f64 / 1000.0;
+            out.push_str(&format!(
+                "{ms:9.3}ms  node{} inst{:<3} {:<26} task={} fiber={}\n",
+                e.node,
+                e.instance,
+                format!("{:?}", e.kind),
+                e.task,
+                e.fiber
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let t = Trace::new();
+        t.record(0, 1, "t", "f", TraceKind::Start);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let t = Trace::new();
+        t.set_enabled(true);
+        t.record(0, 1, "task-1", "task-1/f1", TraceKind::Start);
+        t.record(1, 2, "task-1", "task-1/f1", TraceKind::Yield(":children".into()));
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        let text = t.render();
+        assert!(text.contains("Start"));
+        assert!(text.contains("Yield"));
+        assert!(text.contains("node1"));
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! The global task tracking service (paper §4.2 mentions BlueBox provides
+//! one): task status, results, fiber accounting, and blocking waits.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use gozer_lang::Value;
+use gozer_vm::Condition;
+use parking_lot::{Condvar, Mutex};
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskStatus {
+    /// At least one fiber is live or queued.
+    Running,
+    /// The main fiber returned a value.
+    Completed(Value),
+    /// The task was terminated (`Terminate` operation or the `terminate`
+    /// handler action), with the triggering condition.
+    Terminated(Condition),
+    /// The main fiber failed with an unhandled condition.
+    Failed(Condition),
+}
+
+impl TaskStatus {
+    /// Is this a final state?
+    pub fn is_final(&self) -> bool {
+        !matches!(self, TaskStatus::Running)
+    }
+}
+
+/// Bookkeeping per task.
+#[derive(Debug, Clone)]
+pub struct TaskRecord {
+    /// Task id.
+    pub id: String,
+    /// Current status.
+    pub status: TaskStatus,
+    /// Fibers ever created for this task (the paper's §5 statistics count
+    /// these).
+    pub fibers_created: u64,
+    /// Fibers that have finished (completed, broke, or died with the
+    /// task).
+    pub fibers_finished: u64,
+    /// Wall-clock start.
+    pub started_at: Instant,
+    /// Wall-clock completion (final states only).
+    pub finished_at: Option<Instant>,
+    /// Optional deadline (for the §5 scheduling experiment).
+    pub deadline: Option<Instant>,
+}
+
+impl TaskRecord {
+    /// Task duration so far / total.
+    pub fn duration(&self) -> Duration {
+        self.finished_at
+            .unwrap_or_else(Instant::now)
+            .duration_since(self.started_at)
+    }
+
+    /// Did the task finish after its deadline?
+    pub fn missed_deadline(&self) -> bool {
+        match (self.deadline, self.finished_at) {
+            (Some(d), Some(f)) => f > d,
+            (Some(d), None) => Instant::now() > d,
+            _ => false,
+        }
+    }
+}
+
+/// The tracker.
+#[derive(Default)]
+pub struct TaskTracker {
+    state: Mutex<HashMap<String, TaskRecord>>,
+    cond: Condvar,
+}
+
+impl TaskTracker {
+    /// Fresh tracker.
+    pub fn new() -> TaskTracker {
+        TaskTracker::default()
+    }
+
+    /// Register a new running task.
+    pub fn task_started(&self, id: &str, deadline: Option<Instant>) {
+        let mut st = self.state.lock();
+        st.insert(
+            id.to_string(),
+            TaskRecord {
+                id: id.to_string(),
+                status: TaskStatus::Running,
+                fibers_created: 0,
+                fibers_finished: 0,
+                started_at: Instant::now(),
+                finished_at: None,
+                deadline,
+            },
+        );
+    }
+
+    /// Record fiber creation.
+    pub fn fiber_created(&self, task_id: &str) {
+        if let Some(rec) = self.state.lock().get_mut(task_id) {
+            rec.fibers_created += 1;
+        }
+    }
+
+    /// Record fiber completion.
+    pub fn fiber_finished(&self, task_id: &str) {
+        if let Some(rec) = self.state.lock().get_mut(task_id) {
+            rec.fibers_finished += 1;
+        }
+    }
+
+    /// Move a task to a final state (first writer wins; later attempts —
+    /// e.g. a fiber noticing termination — are ignored).
+    pub fn finish(&self, task_id: &str, status: TaskStatus) {
+        debug_assert!(status.is_final());
+        let mut st = self.state.lock();
+        if let Some(rec) = st.get_mut(task_id) {
+            if !rec.status.is_final() {
+                rec.status = status;
+                rec.finished_at = Some(Instant::now());
+            }
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Current record.
+    pub fn get(&self, task_id: &str) -> Option<TaskRecord> {
+        self.state.lock().get(task_id).cloned()
+    }
+
+    /// Current status.
+    pub fn status(&self, task_id: &str) -> Option<TaskStatus> {
+        self.state.lock().get(task_id).map(|r| r.status.clone())
+    }
+
+    /// Block until the task reaches a final state. `None` on timeout or
+    /// unknown task.
+    pub fn wait(&self, task_id: &str, timeout: Duration) -> Option<TaskRecord> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            match st.get(task_id) {
+                Some(rec) if rec.status.is_final() => return Some(rec.clone()),
+                Some(_) => {}
+                None => return None,
+            }
+            if self.cond.wait_until(&mut st, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// All records (for reporting).
+    pub fn all(&self) -> Vec<TaskRecord> {
+        self.state.lock().values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifecycle() {
+        let t = TaskTracker::new();
+        t.task_started("t1", None);
+        t.fiber_created("t1");
+        t.fiber_created("t1");
+        t.fiber_finished("t1");
+        assert_eq!(t.status("t1"), Some(TaskStatus::Running));
+        t.finish("t1", TaskStatus::Completed(Value::Int(7)));
+        let rec = t.get("t1").unwrap();
+        assert_eq!(rec.status, TaskStatus::Completed(Value::Int(7)));
+        assert_eq!(rec.fibers_created, 2);
+        assert!(rec.finished_at.is_some());
+    }
+
+    #[test]
+    fn first_final_status_wins() {
+        let t = TaskTracker::new();
+        t.task_started("t1", None);
+        t.finish("t1", TaskStatus::Completed(Value::Int(1)));
+        t.finish("t1", TaskStatus::Failed(Condition::error("late")));
+        assert_eq!(t.status("t1"), Some(TaskStatus::Completed(Value::Int(1))));
+    }
+
+    #[test]
+    fn wait_blocks_until_done() {
+        let t = Arc::new(TaskTracker::new());
+        t.task_started("t1", None);
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || t2.wait("t1", Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        t.finish("t1", TaskStatus::Completed(Value::Nil));
+        let rec = h.join().unwrap().unwrap();
+        assert!(rec.status.is_final());
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let t = TaskTracker::new();
+        t.task_started("t1", None);
+        assert!(t.wait("t1", Duration::from_millis(20)).is_none());
+        assert!(t.wait("unknown", Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn deadline_tracking() {
+        let t = TaskTracker::new();
+        t.task_started("late", Some(Instant::now() - Duration::from_secs(1)));
+        t.finish("late", TaskStatus::Completed(Value::Nil));
+        assert!(t.get("late").unwrap().missed_deadline());
+
+        t.task_started("ok", Some(Instant::now() + Duration::from_secs(60)));
+        t.finish("ok", TaskStatus::Completed(Value::Nil));
+        assert!(!t.get("ok").unwrap().missed_deadline());
+    }
+}

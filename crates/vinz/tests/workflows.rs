@@ -1,0 +1,378 @@
+//! End-to-end distributed workflow tests: the full paper pipeline of
+//! Start → RunFiber → fork → yield → persist → AwakeFiber → resume,
+//! across multiple simulated nodes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bluebox::Cluster;
+use gozer_lang::Value;
+use vinz::{InProcessLocks, MemStore, TaskStatus, VinzConfig, WorkflowService};
+
+fn deploy(cluster: &Arc<Cluster>, source: &str) -> WorkflowService {
+    deploy_cfg(cluster, source, VinzConfig::default())
+}
+
+fn deploy_cfg(cluster: &Arc<Cluster>, source: &str, config: VinzConfig) -> WorkflowService {
+    let wf = WorkflowService::deploy(
+        cluster,
+        "wf",
+        source,
+        Arc::new(MemStore::new()),
+        Arc::new(InProcessLocks::new()),
+        config,
+    )
+    .unwrap();
+    // Two nodes, two instances each: enough for cross-node migration.
+    wf.spawn_instances(0, 2);
+    wf.spawn_instances(1, 2);
+    wf
+}
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+#[test]
+fn dist_sum_squares_matches_listing_1() {
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun dist-sum-squares (numbers)
+           (apply #'+
+                  (for-each (number in numbers)
+                    (* number number))))",
+    );
+    let numbers: Vec<Value> = (1..=10).map(Value::Int).collect();
+    let result = wf
+        .call("dist-sum-squares", vec![Value::list(numbers)], TIMEOUT)
+        .unwrap();
+    assert_eq!(result, Value::Int(385));
+    // 1 root fiber + 10 children.
+    let rec = wf.tracker().all().pop().unwrap();
+    assert_eq!(rec.fibers_created, 11);
+    cluster.shutdown();
+}
+
+#[test]
+fn spawn_limit_bounds_outstanding_children() {
+    let cluster = Cluster::new();
+    let mut config = VinzConfig::default();
+    config.spawn_limit = 3;
+    let wf = deploy_cfg(
+        &cluster,
+        "(defun main (n)
+           (for-each (i in (range n)) (* i 10)))",
+        config,
+    );
+    let result = wf.call("main", vec![Value::Int(5)], TIMEOUT).unwrap();
+    assert_eq!(
+        result,
+        Value::list((0..5).map(|i| Value::Int(i * 10)).collect())
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn nested_for_each() {
+    // "This type of distribution may be nested to an arbitrary depth"
+    // (§3.1).
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main ()
+           (for-each (i in (range 3))
+             (apply #'+ (for-each (j in (range 3)) (* i j)))))",
+    );
+    let result = wf.call("main", vec![], TIMEOUT).unwrap();
+    // i=0: 0, i=1: 0+1+2=3, i=2: 0+2+4=6
+    assert_eq!(
+        result,
+        Value::list(vec![Value::Int(0), Value::Int(3), Value::Int(6)])
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn parallel_macro_runs_forms_in_fibers() {
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main ()
+           (parallel (+ 1 1) (* 2 2) (- 9 1)))",
+    );
+    let result = wf.call("main", vec![], TIMEOUT).unwrap();
+    assert_eq!(
+        result,
+        Value::list(vec![Value::Int(2), Value::Int(4), Value::Int(8)])
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn fork_and_exec_with_join_process() {
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun worker (x) (* x 100))
+         (defun main ()
+           (let ((pid (fork-and-exec #'worker :argument 7)))
+             (join-process pid)))",
+    );
+    let result = wf.call("main", vec![], TIMEOUT).unwrap();
+    assert_eq!(result, Value::Int(700));
+    cluster.shutdown();
+}
+
+#[test]
+fn task_variables_share_state_across_fibers() {
+    // Listing 4: a global exit flag visible to every fiber of the task.
+    // With -1 first and a spawn limit of 1 the children run serially, so
+    // every child after the -1 sees the flag and returns nil. The -1
+    // child itself returns t (the value of the setf), as in the paper's
+    // listing.
+    let cluster = Cluster::new();
+    let mut config = VinzConfig::default();
+    config.spawn_limit = 1;
+    let wf = deploy_cfg(
+        &cluster,
+        "(deftaskvar exit-flag \"When this becomes true, stop.\")
+         (defun dist-sum-squares (numbers)
+           (for-each (number in numbers)
+             (unless ^exit-flag^
+               (if (= -1 number)
+                   (setf ^exit-flag^ t)
+                   (* number number)))))",
+        config,
+    );
+    let mut numbers = vec![Value::Int(-1)];
+    numbers.extend((1..=4).map(Value::Int));
+    let result = wf
+        .call("dist-sum-squares", vec![Value::list(numbers)], TIMEOUT)
+        .unwrap();
+    assert_eq!(
+        result,
+        Value::list(vec![
+            Value::Bool(true),
+            Value::Nil,
+            Value::Nil,
+            Value::Nil,
+            Value::Nil
+        ])
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn terminate_stops_a_running_task() {
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        // A workflow that would spin forever across yields.
+        "(defun main ()
+           (let ((acc 0))
+             (dotimes (i 1000000)
+               (setq acc (+ acc (first (for-each (x in (list i)) x)))))
+             acc))",
+    );
+    let task = wf.start("main", vec![], None).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    wf.terminate(&task);
+    let rec = wf.wait(&task, TIMEOUT).expect("terminates promptly");
+    assert!(matches!(rec.status, TaskStatus::Terminated(_)));
+    cluster.shutdown();
+}
+
+#[test]
+fn unhandled_error_fails_the_task() {
+    let cluster = Cluster::new();
+    let wf = deploy(&cluster, "(defun main () (error \"workflow exploded\"))");
+    let task = wf.start("main", vec![], None).unwrap();
+    let rec = wf.wait(&task, TIMEOUT).unwrap();
+    match rec.status {
+        TaskStatus::Failed(c) => assert!(c.message().contains("workflow exploded")),
+        other => panic!("expected failure, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn break_action_terminates_only_the_fiber() {
+    // break: the fiber returns nil to its parent; other fibers are
+    // unaffected (§3.7).
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main ()
+           (for-each (i in (list 1 2 3))
+             (if (= i 2) (break-fiber) (* i 10))))",
+    );
+    let result = wf.call("main", vec![], TIMEOUT).unwrap();
+    assert_eq!(
+        result,
+        Value::list(vec![Value::Int(10), Value::Nil, Value::Int(30)])
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn terminate_action_kills_the_whole_task() {
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main ()
+           (for-each (i in (list 1 2 3))
+             (if (= i 2) (terminate-task \"fatal input\") (* i 10))))",
+    );
+    let task = wf.start("main", vec![], None).unwrap();
+    let rec = wf.wait(&task, TIMEOUT).unwrap();
+    assert!(matches!(rec.status, TaskStatus::Terminated(_)));
+    cluster.shutdown();
+}
+
+#[test]
+fn multiple_tasks_run_concurrently() {
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main (base)
+           (apply #'+ (for-each (i in (range 4)) (+ base i))))",
+    );
+    let tasks: Vec<String> = (0..5)
+        .map(|k| wf.start("main", vec![Value::Int(k * 100)], None).unwrap())
+        .collect();
+    for (k, task) in tasks.iter().enumerate() {
+        let rec = wf.wait(task, TIMEOUT).unwrap();
+        let expected = (0..4).map(|i| k as i64 * 100 + i).sum::<i64>();
+        assert_eq!(rec.status, TaskStatus::Completed(Value::Int(expected)));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn fibers_run_on_multiple_nodes() {
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main ()
+           (for-each (i in (range 16)) (* i i)))",
+    );
+    wf.set_tracing(true);
+    wf.call("main", vec![], TIMEOUT).unwrap();
+    let nodes: std::collections::HashSet<u32> = wf
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, vinz::TraceKind::RunFiber))
+        .map(|e| e.node)
+        .collect();
+    assert!(
+        nodes.len() >= 2,
+        "fibers should be load-balanced across nodes, saw {nodes:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn workflow_survives_instance_failure() {
+    // §3.2: "the failure of any instance will result in only minimal
+    // delays as other instances automatically compensate."
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main ()
+           (apply #'+ (for-each (i in (range 12)) (* i i))))",
+    );
+    let task = wf.start("main", vec![], None).unwrap();
+    // Crash node 0 (both instances) almost immediately.
+    std::thread::sleep(Duration::from_millis(20));
+    cluster.kill_node(0, bluebox::CrashPoint::BeforeProcess);
+    let rec = wf.wait(&task, TIMEOUT).expect("task survives the crash");
+    assert_eq!(
+        rec.status,
+        TaskStatus::Completed(Value::Int((0..12).map(|i| i * i).sum()))
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn local_futures_inside_distributed_fibers() {
+    // chunked for-each: distributed chunks, local futures within each
+    // chunk (§3.5).
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main (n)
+           (apply #'+ (for-each (i in (range n) :chunk-size 4) (* i i))))",
+    );
+    let result = wf.call("main", vec![Value::Int(10)], TIMEOUT).unwrap();
+    assert_eq!(result, Value::Int((0..10).map(|i| i * i).sum()));
+    cluster.shutdown();
+}
+
+#[test]
+fn run_and_status_api() {
+    let cluster = Cluster::new();
+    let wf = deploy(&cluster, "(defun main () :done)");
+    let rec = wf.run("main", vec![], TIMEOUT).unwrap();
+    assert_eq!(rec.status, TaskStatus::Completed(Value::keyword("done")));
+    assert!(wf.status(&rec.id).unwrap().is_final());
+    cluster.shutdown();
+}
+
+#[test]
+fn figure1_event_sequence_is_ordered() {
+    // The Figure 1 lifetime: events must appear in causal order for a
+    // single-fiber workflow with one suspension.
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main ()
+           (let ((pid (fork-and-exec (lambda () 5))))
+             (+ 1 (join-process pid))))",
+    );
+    wf.set_tracing(true);
+    let v = wf.call("main", vec![], TIMEOUT).unwrap();
+    assert_eq!(v, Value::Int(6));
+    let events = wf.trace().events();
+    let root = "task-1/f0";
+    let pos = |pred: &dyn Fn(&vinz::TraceKind) -> bool| {
+        events
+            .iter()
+            .position(|e| e.fiber == root && pred(&e.kind))
+    };
+    use vinz::TraceKind;
+    let start = pos(&|k| matches!(k, TraceKind::Start)).expect("Start");
+    let run = pos(&|k| matches!(k, TraceKind::RunFiber)).expect("RunFiber");
+    let fork = pos(&|k| matches!(k, TraceKind::Fork(_))).expect("Fork");
+    let yielded = pos(&|k| matches!(k, TraceKind::Yield(_))).expect("Yield");
+    let resumed = pos(&|k| matches!(k, TraceKind::Resume(_))).expect("Resume");
+    let done = pos(&|k| matches!(k, TraceKind::FiberDone)).expect("FiberDone");
+    let task_done = pos(&|k| matches!(k, TraceKind::TaskDone(_))).expect("TaskDone");
+    assert!(start < run, "Start before RunFiber");
+    assert!(run < fork, "RunFiber before Fork");
+    assert!(fork < yielded, "Fork before the join Yield");
+    assert!(yielded < resumed, "Yield before Resume");
+    assert!(resumed < done, "Resume before FiberDone");
+    assert!(done <= task_done, "FiberDone before TaskDone");
+    cluster.shutdown();
+}
+
+#[test]
+fn persistence_metrics_account_for_suspensions() {
+    let cluster = Cluster::new();
+    let wf = deploy(
+        &cluster,
+        "(defun main () (for-each (i in (range 4)) i))",
+    );
+    wf.call("main", vec![], TIMEOUT).unwrap();
+    use std::sync::atomic::Ordering;
+    let m = wf.metrics();
+    // Persists: 1 initial (root) + 4 children initial + 4 parent
+    // suspensions (one per child yield) = 9.
+    assert_eq!(m.persist_count.load(Ordering::Relaxed), 9);
+    assert!(m.persist_bytes.load(Ordering::Relaxed) > 0);
+    // Resumes: 4 awakes.
+    assert_eq!(m.resumes.load(Ordering::Relaxed), 4);
+    // RunFiber executions: 1 root + 4 children.
+    assert_eq!(m.fibers_run.load(Ordering::Relaxed), 5);
+    cluster.shutdown();
+}

@@ -1,0 +1,112 @@
+//! VM error and control-transfer types.
+
+use gozer_lang::{LangError, Value};
+
+use crate::conditions::Condition;
+
+/// Errors and non-local control transfers inside the GVM.
+///
+/// The `Unwind` variant is *control flow*, not failure: condition handlers
+/// run as nested interpreter activations (without unwinding the signaling
+/// code, per §3.7), and when a handler invokes a restart the transfer
+/// propagates out of the nested activations as an `Unwind` which the
+/// owning fiber loop catches and turns into a frame-stack truncation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Reader failure.
+    Read(LangError),
+    /// Compile-time failure (bad special form, unknown macro arity, ...).
+    Compile(String),
+    /// A signaled condition that no handler dealt with.
+    Signal(Condition),
+    /// Non-local control transfer (see [`Unwind`]).
+    Unwind(Unwind),
+}
+
+/// Non-local control transfers that cross interpreter activations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Unwind {
+    /// Transfer to the restart with this id, passing `args`.
+    Restart {
+        /// Id of the target [`crate::fiber::RestartEntry`].
+        id: u64,
+        /// Arguments delivered to the restart clause.
+        args: Vec<Value>,
+    },
+    /// Vinz `break` action: terminate the current fiber cleanly, returning
+    /// `nil` to its parent (paper §3.7).
+    BreakFiber,
+    /// Vinz `terminate` action: terminate the fiber *and the whole task*
+    /// with an error status (paper §3.7).
+    TerminateTask(Condition),
+    /// A `yield` was attempted from a context that cannot suspend (future
+    /// thread, condition handler, macroexpansion). Vinz avoids this by
+    /// detecting background threads and falling back to synchronous
+    /// requests (§3.2); reaching it from user code is an error.
+    YieldFromNested,
+}
+
+impl VmError {
+    /// Build a `Signal` from a plain error message.
+    pub fn msg(message: impl Into<String>) -> VmError {
+        VmError::Signal(Condition::error(message))
+    }
+
+    /// Build a type-error signal.
+    pub fn type_error(expected: &str, got: &Value) -> VmError {
+        VmError::Signal(Condition::type_error(expected, got))
+    }
+
+    /// The condition carried by this error, synthesizing one for
+    /// non-signal variants (used when reporting fiber failure to Vinz).
+    pub fn to_condition(&self) -> Condition {
+        match self {
+            VmError::Signal(c) => c.clone(),
+            VmError::Read(e) => Condition::new("reader-error", e.to_string()),
+            VmError::Compile(msg) => Condition::new("compile-error", msg.clone()),
+            VmError::Unwind(Unwind::TerminateTask(c)) => c.clone(),
+            VmError::Unwind(u) => Condition::error(format!("unexpected unwind: {u:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Read(e) => write!(f, "read error: {e}"),
+            VmError::Compile(msg) => write!(f, "compile error: {msg}"),
+            VmError::Signal(c) => write!(f, "unhandled condition: {c}"),
+            VmError::Unwind(u) => write!(f, "control transfer escaped: {u:?}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<LangError> for VmError {
+    fn from(e: LangError) -> Self {
+        VmError::Read(e)
+    }
+}
+
+/// Result alias for VM operations.
+pub type VmResult<T> = Result<T, VmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condition_extraction() {
+        let e = VmError::msg("bad");
+        assert_eq!(e.to_condition().message(), "bad");
+        let e = VmError::Compile("nope".into());
+        assert!(e.to_condition().matches("compile-error"));
+    }
+
+    #[test]
+    fn display() {
+        assert!(VmError::msg("x").to_string().contains("unhandled"));
+        assert!(VmError::Compile("y".into()).to_string().contains("compile"));
+    }
+}

@@ -1,0 +1,622 @@
+//! The GVM interpreter loop.
+//!
+//! Executes [`Op`] streams against a heap-allocated frame stack. Two
+//! activation modes exist:
+//!
+//! * **fiber mode** (`nested = false`): the top-level run of a fiber. May
+//!   suspend at `yield`, producing a serializable continuation.
+//! * **nested mode** (`nested = true`): interpreter re-entry from Rust —
+//!   condition handlers, macro expansion, reader macros, future bodies,
+//!   and higher-order natives. A nested activation cannot suspend; Vinz
+//!   relies on this to force synchronous service calls on background
+//!   threads (§3.2).
+//!
+//! Non-local control (restart transfers, Vinz `break`/`terminate`) crosses
+//! activations as [`Unwind`] errors caught by the activation that owns the
+//! target restart.
+
+use std::sync::Arc;
+
+use gozer_lang::Value;
+
+use crate::bytecode::{CaptureSource, Op, ParamSpec};
+use crate::conditions::Condition;
+use crate::error::{Unwind, VmError, VmResult};
+use crate::fiber::{DynState, FiberExt, FiberState, Frame, HandlerEntry, RestartEntry};
+use crate::gvm::{Gvm, NativeCtx};
+use crate::runtime::{determine_deep, force, force_all, Closure, ContinuationVal, NativeFn, NativeOutcome};
+
+/// Result of the interpreter loop.
+pub(crate) enum InterpOutcome {
+    /// Final value of the outermost frame.
+    Done(Value),
+    /// Suspended at a `yield`; the payload explains why (Vinz encodes the
+    /// suspension reason here). The caller owns the captured state.
+    Suspended(Value),
+}
+
+/// What a single instruction step decided.
+enum Flow {
+    Continue,
+    Done(Value),
+    Suspend(Value),
+}
+
+/// Run until completion or suspension. On entry, `resume` (if provided)
+/// is pushed onto the top frame's operand stack — the value "returned by"
+/// the yield that suspended the fiber.
+pub(crate) fn interp(
+    gvm: &Arc<Gvm>,
+    frames: &mut Vec<Frame>,
+    ds: &mut DynState,
+    ids: &mut u64,
+    ext: &mut FiberExt,
+    nested: bool,
+    resume: Option<Value>,
+) -> VmResult<InterpOutcome> {
+    if let Some(v) = resume {
+        let f = frames
+            .last_mut()
+            .ok_or_else(|| VmError::msg("cannot resume a finished fiber"))?;
+        f.stack.push(v);
+    }
+    loop {
+        match step(gvm, frames, ds, ids, ext, nested) {
+            Ok(Flow::Continue) => {}
+            Ok(Flow::Done(v)) => return Ok(InterpOutcome::Done(v)),
+            Ok(Flow::Suspend(payload)) => {
+                // §4.1: the continuation only becomes available once every
+                // future it references is determined.
+                determine_frames(frames)?;
+                return Ok(InterpOutcome::Suspended(payload));
+            }
+            Err(e) => {
+                if !try_restart_transfer(&e, frames, ds)? {
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Attempt to perform a restart transfer for `e` within this activation:
+/// unwind the frame stack to the establishing frame, reset its operand
+/// stack and pc, restore the dynamic stacks, and deliver the restart
+/// arguments as a single list value. Returns true when the transfer was
+/// performed; foreign restarts (owned by an outer activation) are left
+/// for their owner.
+fn try_restart_transfer(
+    e: &VmError,
+    frames: &mut Vec<Frame>,
+    ds: &mut DynState,
+) -> VmResult<bool> {
+    let VmError::Unwind(Unwind::Restart { id, args }) = e else {
+        return Ok(false);
+    };
+    let Some(pos) = ds
+        .restarts
+        .iter()
+        .rposition(|r| r.id == *id && !r.foreign)
+    else {
+        return Ok(false);
+    };
+    let entry = ds.restarts[pos].clone();
+    frames.truncate(entry.frame_depth as usize + 1);
+    let f = frames
+        .last_mut()
+        .ok_or_else(|| VmError::msg("restart transfer into empty stack"))?;
+    f.stack.truncate(entry.stack_depth as usize);
+    f.pc = entry.target_pc;
+    ds.handlers.truncate(entry.handlers_len as usize);
+    ds.restarts.truncate(entry.restarts_len as usize);
+    f.stack.push(Value::list(args.clone()));
+    Ok(true)
+}
+
+/// Execute one instruction.
+fn step(
+    gvm: &Arc<Gvm>,
+    frames: &mut Vec<Frame>,
+    ds: &mut DynState,
+    ids: &mut u64,
+    ext: &mut FiberExt,
+    nested: bool,
+) -> VmResult<Flow> {
+    let op = {
+        let f = frames
+            .last_mut()
+            .ok_or_else(|| VmError::msg("interpreter entered with no frames"))?;
+        let chunk = f.program.chunk(f.chunk);
+        debug_assert!((f.pc as usize) < chunk.code.len(), "pc ran off chunk end");
+        let op = chunk.code[f.pc as usize];
+        f.pc += 1;
+        op
+    };
+    match op {
+        Op::Const(i) => {
+            let v = {
+                let f = top(frames);
+                f.program.consts[i as usize].clone()
+            };
+            top(frames).stack.push(v);
+        }
+        Op::Nil => top(frames).stack.push(Value::Nil),
+        Op::True => top(frames).stack.push(Value::Bool(true)),
+        Op::Pop => {
+            pop(frames)?;
+        }
+        Op::Dup => {
+            let v = top(frames)
+                .stack
+                .last()
+                .cloned()
+                .ok_or_else(|| VmError::msg("dup on empty stack"))?;
+            top(frames).stack.push(v);
+        }
+        Op::LoadLocal(slot) => {
+            let v = top(frames).locals[slot as usize].clone();
+            top(frames).stack.push(v);
+        }
+        Op::StoreLocal(slot) => {
+            let v = pop(frames)?;
+            top(frames).locals[slot as usize] = v;
+        }
+        Op::LoadCapture(i) => {
+            let v = top(frames).captures[i as usize].clone();
+            top(frames).stack.push(v);
+        }
+        Op::LoadGlobal(c) => {
+            let sym = const_symbol(frames, c)?;
+            match gvm.get_global(sym) {
+                Some(v) => top(frames).stack.push(v),
+                None => {
+                    return Err(raise(
+                        gvm,
+                        ds,
+                        ids,
+                        ext,
+                        Condition::with_types(
+                            vec!["unbound-variable".into(), "error".into()],
+                            format!("unbound variable: {}", sym.name()),
+                            Value::Symbol(sym),
+                        ),
+                    ));
+                }
+            }
+        }
+        Op::StoreGlobal(c) => {
+            let sym = const_symbol(frames, c)?;
+            let v = pop(frames)?;
+            gvm.set_global(sym, v);
+        }
+        Op::DefGlobal(c) => {
+            let sym = const_symbol(frames, c)?;
+            let v = pop(frames)?;
+            gvm.set_global(sym, v);
+        }
+        Op::Jump(off) => jump(frames, off),
+        Op::JumpIfFalse(off) => {
+            let v = force(pop(frames)?)?;
+            if !v.is_truthy() {
+                jump(frames, off);
+            }
+        }
+        Op::JumpIfTrue(off) => {
+            let v = force(pop(frames)?)?;
+            if v.is_truthy() {
+                jump(frames, off);
+            }
+        }
+        Op::Call(n) | Op::TailCall(n) => {
+            let tail = matches!(op, Op::TailCall(_));
+            let mut args = {
+                let f = top(frames);
+                let at = f.stack.len() - n as usize;
+                f.stack.split_off(at)
+            };
+            let callee = pop(frames)?;
+            // The Invoke outcome loops here so funcall/apply chains stay
+            // iterative.
+            let mut callee = force(callee)?;
+            loop {
+                if callee.as_callable::<Closure>().is_some() {
+                    let frame = frame_for_closure(gvm, ds, ids, ext, &callee, args)?;
+                    if tail {
+                        *top(frames) = frame;
+                    } else {
+                        frames.push(frame);
+                    }
+                    return Ok(Flow::Continue);
+                }
+                if let Some(nf) = callee.as_callable::<NativeFn>() {
+                    if !nf.raw {
+                        force_all(&mut args)?;
+                    }
+                    let func = nf.func.clone();
+                    let mut ctx = NativeCtx {
+                        gvm,
+                        ds,
+                        ids,
+                        ext,
+                        nested,
+                    };
+                    match func(&mut ctx, args)? {
+                        NativeOutcome::Value(v) => {
+                            top(frames).stack.push(v);
+                            return Ok(Flow::Continue);
+                        }
+                        NativeOutcome::Invoke { func, args: a } => {
+                            callee = force(func)?;
+                            args = a;
+                            continue;
+                        }
+                        NativeOutcome::Yield { payload } => {
+                            if nested {
+                                return Err(VmError::Unwind(Unwind::YieldFromNested));
+                            }
+                            return Ok(Flow::Suspend(payload));
+                        }
+                        NativeOutcome::ResumeContinuation { state, value } => {
+                            *frames = state.frames;
+                            *ds = state.dyn_state;
+                            *ids = state.next_restart_id;
+                            *ext = state.ext;
+                            top(frames).stack.push(value);
+                            return Ok(Flow::Continue);
+                        }
+                    }
+                }
+                return Err(raise(
+                    gvm,
+                    ds,
+                    ids,
+                    ext,
+                    Condition::type_error("function", &callee),
+                ));
+            }
+        }
+        Op::Return => {
+            let mut f = frames.pop().ok_or_else(|| VmError::msg("return from nothing"))?;
+            let v = f
+                .stack
+                .pop()
+                .ok_or_else(|| VmError::msg("return with empty stack"))?;
+            match frames.last_mut() {
+                None => return Ok(Flow::Done(v)),
+                Some(caller) => caller.stack.push(v),
+            }
+        }
+        Op::MakeClosure(ci) => {
+            let closure = {
+                let f = top(frames);
+                let chunk = f.program.chunk(ci);
+                let captures: Vec<Value> = chunk
+                    .captures
+                    .iter()
+                    .map(|src| match src {
+                        CaptureSource::Local(slot) => f.locals[*slot as usize].clone(),
+                        CaptureSource::Capture(i) => f.captures[*i as usize].clone(),
+                    })
+                    .collect();
+                Value::Func(Arc::new(Closure {
+                    program: f.program.clone(),
+                    chunk: ci,
+                    captures: Arc::new(captures),
+                }))
+            };
+            top(frames).stack.push(closure);
+        }
+        Op::MakeList(n) => {
+            let items = popn(frames, n as usize)?;
+            top(frames).stack.push(Value::list(items));
+        }
+        Op::MakeVector(n) => {
+            let items = popn(frames, n as usize)?;
+            top(frames).stack.push(Value::vector(items));
+        }
+        Op::MakeMap(n) => {
+            let items = popn(frames, 2 * n as usize)?;
+            let mut m = gozer_lang::AssocMap::new();
+            let mut it = items.into_iter();
+            while let (Some(k), Some(v)) = (it.next(), it.next()) {
+                m.insert(k, v);
+            }
+            top(frames).stack.push(Value::Map(Arc::new(m)));
+        }
+        Op::Yield => {
+            let payload = pop(frames)?;
+            if nested {
+                return Err(VmError::Unwind(Unwind::YieldFromNested));
+            }
+            return Ok(Flow::Suspend(payload));
+        }
+        Op::PushCC => {
+            // Determine futures first, then snapshot. The snapshot's pc is
+            // already past PushCC; resuming it delivers a value exactly
+            // where the live path sees the continuation object.
+            determine_frames(frames)?;
+            let state = FiberState {
+                frames: frames.clone(),
+                dyn_state: ds.clone(),
+                next_restart_id: *ids,
+                ext: ext.clone(),
+            };
+            top(frames)
+                .stack
+                .push(Value::Opaque(Arc::new(ContinuationVal { state })));
+        }
+        Op::PushHandler => {
+            let func = pop(frames)?;
+            ds.handlers.push(HandlerEntry { func });
+        }
+        Op::PopHandlers(n) => {
+            let new_len = ds.handlers.len().saturating_sub(n as usize);
+            ds.handlers.truncate(new_len);
+        }
+        Op::PushRestart { name, offset } => {
+            let (name_sym, target_pc, stack_depth) = {
+                let f = top(frames);
+                let sym = f.program.consts[name as usize]
+                    .as_symbol()
+                    .ok_or_else(|| VmError::msg("restart name constant must be a symbol"))?;
+                (
+                    sym,
+                    (f.pc as i64 + offset as i64) as u32,
+                    f.stack.len() as u32,
+                )
+            };
+            *ids += 1;
+            ds.restarts.push(RestartEntry {
+                id: *ids,
+                name: name_sym,
+                frame_depth: (frames.len() - 1) as u32,
+                stack_depth,
+                target_pc,
+                handlers_len: ds.handlers.len() as u32,
+                restarts_len: ds.restarts.len() as u32,
+                foreign: false,
+            });
+        }
+        Op::PopRestarts(n) => {
+            let new_len = ds.restarts.len().saturating_sub(n as usize);
+            ds.restarts.truncate(new_len);
+        }
+    }
+    Ok(Flow::Continue)
+}
+
+// ---- helpers -----------------------------------------------------------
+
+fn top(frames: &mut [Frame]) -> &mut Frame {
+    frames.last_mut().expect("frame stack empty")
+}
+
+fn pop(frames: &mut [Frame]) -> VmResult<Value> {
+    top(frames)
+        .stack
+        .pop()
+        .ok_or_else(|| VmError::msg("operand stack underflow"))
+}
+
+fn popn(frames: &mut [Frame], n: usize) -> VmResult<Vec<Value>> {
+    let f = top(frames);
+    if f.stack.len() < n {
+        return Err(VmError::msg("operand stack underflow"));
+    }
+    let at = f.stack.len() - n;
+    Ok(f.stack.split_off(at))
+}
+
+fn jump(frames: &mut [Frame], off: i32) {
+    let f = top(frames);
+    f.pc = (f.pc as i64 + off as i64) as u32;
+}
+
+fn const_symbol(frames: &mut [Frame], c: u32) -> VmResult<gozer_lang::Symbol> {
+    let f = top(frames);
+    f.program.consts[c as usize]
+        .as_symbol()
+        .ok_or_else(|| VmError::msg("expected symbol constant"))
+}
+
+/// Wait for every future reachable from the frame stack.
+fn determine_frames(frames: &[Frame]) -> VmResult<()> {
+    for f in frames {
+        for v in f.locals.iter().chain(f.stack.iter()).chain(f.captures.iter()) {
+            determine_deep(v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Build the activation frame for calling `callee` (a closure) on `args`.
+pub(crate) fn frame_for_closure(
+    gvm: &Arc<Gvm>,
+    ds: &mut DynState,
+    ids: &mut u64,
+    ext: &mut FiberExt,
+    callee: &Value,
+    args: Vec<Value>,
+) -> VmResult<Frame> {
+    let cl = callee
+        .as_callable::<Closure>()
+        .ok_or_else(|| VmError::type_error("closure", callee))?;
+    let chunk = cl.program.chunk(cl.chunk);
+    let locals = match bind_params(&chunk.params, args, &chunk.name) {
+        Ok(l) => l,
+        Err(cond) => return Err(raise(gvm, ds, ids, ext, cond)),
+    };
+    let mut all_locals = locals;
+    all_locals.resize(chunk.local_count as usize, Value::Nil);
+    Ok(Frame {
+        program: cl.program.clone(),
+        chunk: cl.chunk,
+        pc: 0,
+        locals: all_locals,
+        stack: Vec::with_capacity(8),
+        captures: cl.captures.clone(),
+    })
+}
+
+/// Bind `args` against `spec`, producing the parameter slot values.
+fn bind_params(spec: &ParamSpec, mut args: Vec<Value>, fn_name: &str) -> Result<Vec<Value>, Condition> {
+    let nreq = spec.required.len();
+    if args.len() < nreq {
+        return Err(Condition::with_types(
+            vec!["program-error".into(), "error".into()],
+            format!(
+                "{fn_name}: expected at least {nreq} argument(s), got {}",
+                args.len()
+            ),
+            Value::Nil,
+        ));
+    }
+    let mut slots: Vec<Value> = Vec::with_capacity(spec.slot_count());
+    let rest_args = args.split_off(nreq.min(args.len()));
+    slots.extend(args);
+    let mut remaining = rest_args.into_iter();
+    for (_, default) in &spec.optional {
+        match remaining.next() {
+            Some(v) => slots.push(v),
+            None => slots.push(default.clone()),
+        }
+    }
+    let leftover: Vec<Value> = remaining.collect();
+    if spec.rest.is_some() {
+        slots.push(Value::list(leftover.clone()));
+    }
+    if !spec.keys.is_empty() {
+        // Parse keyword pairs from the leftover arguments.
+        if !leftover.len().is_multiple_of(2) {
+            return Err(Condition::with_types(
+                vec!["program-error".into(), "error".into()],
+                format!("{fn_name}: odd number of keyword arguments"),
+                Value::Nil,
+            ));
+        }
+        let mut key_vals: Vec<Value> = spec.keys.iter().map(|(_, d)| d.clone()).collect();
+        let mut i = 0;
+        while i < leftover.len() {
+            let Some(kw) = leftover[i].as_keyword() else {
+                return Err(Condition::with_types(
+                    vec!["program-error".into(), "error".into()],
+                    format!("{fn_name}: expected a keyword, got {:?}", leftover[i]),
+                    Value::Nil,
+                ));
+            };
+            match spec.keys.iter().position(|(k, _)| *k == kw) {
+                Some(ki) => key_vals[ki] = leftover[i + 1].clone(),
+                None => {
+                    if spec.rest.is_none() {
+                        return Err(Condition::with_types(
+                            vec!["program-error".into(), "error".into()],
+                            format!("{fn_name}: unknown keyword :{}", kw.name()),
+                            Value::Nil,
+                        ));
+                    }
+                }
+            }
+            i += 2;
+        }
+        slots.extend(key_vals);
+    } else if spec.rest.is_none() && !leftover.is_empty() {
+        return Err(Condition::with_types(
+            vec!["program-error".into(), "error".into()],
+            format!(
+                "{fn_name}: too many arguments ({} extra)",
+                leftover.len()
+            ),
+            Value::Nil,
+        ));
+    }
+    Ok(slots)
+}
+
+/// Call a Gozer function from Rust, in a nested (non-suspendable)
+/// activation sharing the fiber's dynamic state and extension map.
+pub(crate) fn call_nested(
+    gvm: &Arc<Gvm>,
+    ds: &mut DynState,
+    ids: &mut u64,
+    ext: &mut FiberExt,
+    func: Value,
+    args: Vec<Value>,
+) -> VmResult<Value> {
+    let mut callee = force(func)?;
+    let mut args = args;
+    loop {
+        if callee.as_callable::<Closure>().is_some() {
+            let frame = frame_for_closure(gvm, ds, ids, ext, &callee, args)?;
+            let mut frames = vec![frame];
+            return match interp(gvm, &mut frames, ds, ids, ext, true, None)? {
+                InterpOutcome::Done(v) => Ok(v),
+                InterpOutcome::Suspended(_) => Err(VmError::Unwind(Unwind::YieldFromNested)),
+            };
+        }
+        if let Some(nf) = callee.as_callable::<NativeFn>() {
+            if !nf.raw {
+                force_all(&mut args)?;
+            }
+            let f = nf.func.clone();
+            let mut ctx = NativeCtx {
+                gvm,
+                ds,
+                ids,
+                ext,
+                nested: true,
+            };
+            match f(&mut ctx, args)? {
+                NativeOutcome::Value(v) => return Ok(v),
+                NativeOutcome::Invoke { func, args: a } => {
+                    callee = force(func)?;
+                    args = a;
+                }
+                NativeOutcome::Yield { .. } => {
+                    return Err(VmError::Unwind(Unwind::YieldFromNested));
+                }
+                NativeOutcome::ResumeContinuation { .. } => {
+                    return Err(VmError::msg(
+                        "cannot resume a continuation from a nested context",
+                    ));
+                }
+            }
+            continue;
+        }
+        return Err(VmError::type_error("function", &callee));
+    }
+}
+
+/// Signal `cond` to the active handlers, innermost first. Handlers run in
+/// nested activations **without unwinding** (§3.7); a handler that
+/// declines simply returns and the next handler runs. Returns normally
+/// when every handler declined.
+pub(crate) fn do_signal(
+    gvm: &Arc<Gvm>,
+    ds: &mut DynState,
+    ids: &mut u64,
+    ext: &mut FiberExt,
+    cond: &Condition,
+) -> VmResult<()> {
+    for idx in (0..ds.handlers.len()).rev() {
+        let func = ds.handlers[idx].func.clone();
+        // The handler sees only handlers established outside itself.
+        let mut view = ds.nested_view(idx);
+        call_nested(gvm, &mut view, ids, ext, func, vec![cond.value().clone()])?;
+    }
+    Ok(())
+}
+
+/// Signal `cond` as an *error*: if no handler transfers control, the
+/// fiber fails with the condition.
+pub(crate) fn raise(
+    gvm: &Arc<Gvm>,
+    ds: &mut DynState,
+    ids: &mut u64,
+    ext: &mut FiberExt,
+    cond: Condition,
+) -> VmError {
+    match do_signal(gvm, ds, ids, ext, &cond) {
+        Ok(()) => VmError::Signal(cond),
+        Err(e) => e,
+    }
+}

@@ -1,0 +1,75 @@
+//! Output natives. Output goes to the VM's captured log (and optionally
+//! stdout), which is how the workflow-lifetime traces of Figure 1 are
+//! collected.
+
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gozer_lang::printer::{display_to_string, print_to_string};
+use gozer_lang::Value;
+
+use crate::error::VmError;
+use crate::gvm::Gvm;
+use crate::runtime::NativeOutcome;
+
+use super::{arity, reg, str_arg};
+
+pub(super) fn install(gvm: &Arc<Gvm>) {
+    reg(gvm, "log", |ctx, args| {
+        let line = args
+            .iter()
+            .map(display_to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        ctx.gvm.log_line(line);
+        NativeOutcome::ok(Value::Nil)
+    });
+    reg(gvm, "print", |ctx, args| {
+        arity("print", &args, 1, Some(1))?;
+        ctx.gvm.log_line(print_to_string(&args[0]));
+        NativeOutcome::ok(args[0].clone())
+    });
+    reg(gvm, "princ", |ctx, args| {
+        arity("princ", &args, 1, Some(1))?;
+        ctx.gvm.log_line(display_to_string(&args[0]));
+        NativeOutcome::ok(args[0].clone())
+    });
+    reg(gvm, "terpri", |ctx, args| {
+        arity("terpri", &args, 0, Some(0))?;
+        ctx.gvm.log_line(String::new());
+        NativeOutcome::ok(Value::Nil)
+    });
+    reg(gvm, "format", |ctx, args| {
+        arity("format", &args, 2, None)?;
+        let fmt = str_arg("format", &args, 1)?;
+        let rendered = super::strings::format_directives(fmt, &args[2..])?;
+        match &args[0] {
+            // (format nil ...) returns the string.
+            Value::Nil => NativeOutcome::ok(Value::from(rendered)),
+            // (format t ...) logs it.
+            Value::Bool(true) => {
+                ctx.gvm.log_line(rendered);
+                NativeOutcome::ok(Value::Nil)
+            }
+            other => Err(VmError::type_error("nil or t (format destination)", other)),
+        }
+    });
+    reg(gvm, "%now-millis", |_, args| {
+        arity("%now-millis", &args, 0, Some(0))?;
+        let ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0);
+        NativeOutcome::ok(Value::Int(ms))
+    });
+    reg(gvm, "sleep-millis", |_, args| {
+        arity("sleep-millis", &args, 1, Some(1))?;
+        let ms = args[0]
+            .as_f64()
+            .ok_or_else(|| VmError::type_error("number", &args[0]))?;
+        if ms > 0.0 {
+            std::thread::sleep(std::time::Duration::from_micros((ms * 1000.0) as u64));
+        }
+        NativeOutcome::ok(Value::Nil)
+    });
+}

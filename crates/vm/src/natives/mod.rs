@@ -1,0 +1,161 @@
+//! The native (Rust-implemented) standard library of the Gozer language.
+//!
+//! Natives are ordinary global bindings holding [`NativeFn`] values, so
+//! Gozer code can pass them around, `apply` them, and shadow them. Vinz
+//! registers its own natives (`fork-and-exec`, `%get-task-var`, ...)
+//! through the same [`Gvm::set_global`] mechanism.
+
+use std::sync::Arc;
+
+use gozer_lang::{Symbol, Value};
+
+use crate::error::{VmError, VmResult};
+use crate::gvm::{Gvm, NativeCtx};
+use crate::runtime::{NativeFn, NativeOutcome};
+
+mod arith;
+mod control;
+mod futures;
+mod io;
+mod lists;
+mod methods;
+mod predicates;
+mod readerfns;
+mod strings;
+
+pub use methods::ObjectVal;
+
+/// Gozer source evaluated at VM construction: the parts of the standard
+/// library most naturally written in Gozer itself (also exercising
+/// `defmacro` and the compiler during boot).
+pub const PRELUDE: &str = r#"
+(defun caar (x) (first (first x)))
+(defun cadr (x) (second x))
+(defun cddr (x) (rest (rest x)))
+
+(defun mapcan (f lst)
+  "Map F over LST and append the resulting lists."
+  (apply #'append (mapcar f lst)))
+
+(defun curry (f &rest pre)
+  "Partially apply F to the arguments PRE."
+  (lambda (&rest post) (apply f (append pre post))))
+
+(defun complement (f)
+  "A predicate returning the opposite of F."
+  (lambda (&rest args) (not (apply f args))))
+
+(defun constantly (v)
+  "A function of any arguments that always returns V."
+  (lambda (&rest args) v))
+
+(defmacro assert (form)
+  `(unless ,form
+     (error "assertion failed: ~s" ',form)))
+
+(defmacro time (form)
+  "Evaluate FORM, logging elapsed wall-clock milliseconds."
+  (let ((start (gensym)) (result (gensym)))
+    `(let ((,start (%now-millis))
+           (,result ,form))
+       (log "time:" (- (%now-millis) ,start) "ms")
+       ,result)))
+"#;
+
+/// Install every native into the VM's global environment.
+pub fn install(gvm: &Arc<Gvm>) {
+    arith::install(gvm);
+    lists::install(gvm);
+    strings::install(gvm);
+    predicates::install(gvm);
+    control::install(gvm);
+    io::install(gvm);
+    futures::install(gvm);
+    methods::install(gvm);
+    readerfns::install(gvm);
+}
+
+// ---- registration helpers (crate-internal) ------------------------------
+
+pub(crate) fn reg(
+    gvm: &Arc<Gvm>,
+    name: &str,
+    f: impl Fn(&mut NativeCtx<'_>, Vec<Value>) -> VmResult<NativeOutcome> + Send + Sync + 'static,
+) {
+    gvm.set_global(Symbol::intern(name), NativeFn::value(name, f));
+}
+
+pub(crate) fn reg_raw(
+    gvm: &Arc<Gvm>,
+    name: &str,
+    f: impl Fn(&mut NativeCtx<'_>, Vec<Value>) -> VmResult<NativeOutcome> + Send + Sync + 'static,
+) {
+    gvm.set_global(Symbol::intern(name), NativeFn::raw_value(name, f));
+}
+
+// ---- argument helpers ----------------------------------------------------
+
+pub(crate) fn arity(name: &str, args: &[Value], min: usize, max: Option<usize>) -> VmResult<()> {
+    if args.len() < min || max.is_some_and(|m| args.len() > m) {
+        return Err(VmError::msg(format!(
+            "{name}: expected {}{} argument(s), got {}",
+            min,
+            match max {
+                Some(m) if m == min => String::new(),
+                Some(m) => format!("..{m}"),
+                None => "+".into(),
+            },
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+pub(crate) fn int_arg(name: &str, args: &[Value], i: usize) -> VmResult<i64> {
+    args[i]
+        .as_int()
+        .ok_or_else(|| VmError::type_error(&format!("integer ({name} arg {i})"), &args[i]))
+}
+
+pub(crate) fn num_arg(name: &str, args: &[Value], i: usize) -> VmResult<f64> {
+    args[i]
+        .as_f64()
+        .ok_or_else(|| VmError::type_error(&format!("number ({name} arg {i})"), &args[i]))
+}
+
+pub(crate) fn str_arg<'a>(name: &str, args: &'a [Value], i: usize) -> VmResult<&'a str> {
+    args[i]
+        .as_str()
+        .ok_or_else(|| VmError::type_error(&format!("string ({name} arg {i})"), &args[i]))
+}
+
+pub(crate) fn seq_arg<'a>(name: &str, args: &'a [Value], i: usize) -> VmResult<&'a [Value]> {
+    args[i]
+        .as_seq()
+        .ok_or_else(|| VmError::type_error(&format!("sequence ({name} arg {i})"), &args[i]))
+}
+
+pub(crate) fn sym_arg(name: &str, args: &[Value], i: usize) -> VmResult<Symbol> {
+    args[i]
+        .as_symbol()
+        .ok_or_else(|| VmError::type_error(&format!("symbol ({name} arg {i})"), &args[i]))
+}
+
+/// Parse `(:key value ...)` keyword arguments from a native's tail.
+pub(crate) fn kwargs(name: &str, rest: &[Value]) -> VmResult<Vec<(Symbol, Value)>> {
+    if !rest.len().is_multiple_of(2) {
+        return Err(VmError::msg(format!(
+            "{name}: odd number of keyword arguments"
+        )));
+    }
+    let mut out = Vec::with_capacity(rest.len() / 2);
+    let mut i = 0;
+    while i < rest.len() {
+        let Some(k) = rest[i].as_keyword() else {
+            return Err(VmError::type_error("keyword", &rest[i]));
+        };
+        out.push((k, rest[i + 1].clone()));
+        i += 2;
+    }
+    Ok(out)
+}

@@ -1,0 +1,134 @@
+//! Type and equality predicates.
+
+use std::sync::Arc;
+
+use gozer_lang::Value;
+
+use crate::gvm::Gvm;
+use crate::runtime::{FutureVal, NativeOutcome};
+
+use super::{arity, reg, reg_raw, sym_arg};
+
+fn b(v: bool) -> NativeOutcome {
+    NativeOutcome::Value(Value::Bool(v))
+}
+
+/// Identity-flavoured equality (`eq`): atoms by value, aggregates by
+/// pointer identity.
+fn value_eq_identity(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::List(x), Value::List(y)) => Arc::ptr_eq(x, y),
+        (Value::Vector(x), Value::Vector(y)) => Arc::ptr_eq(x, y),
+        (Value::Map(x), Value::Map(y)) => Arc::ptr_eq(x, y),
+        (Value::Str(x), Value::Str(y)) => Arc::ptr_eq(x, y) || x == y,
+        _ => a == b,
+    }
+}
+
+pub(super) fn install(gvm: &Arc<Gvm>) {
+    reg(gvm, "not", |_, args| {
+        arity("not", &args, 1, Some(1))?;
+        Ok(b(!args[0].is_truthy()))
+    });
+    reg(gvm, "null", |_, args| {
+        arity("null", &args, 1, Some(1))?;
+        Ok(b(args[0].is_nil()))
+    });
+    reg(gvm, "eq", |_, args| {
+        arity("eq", &args, 2, Some(2))?;
+        Ok(b(value_eq_identity(&args[0], &args[1])))
+    });
+    reg(gvm, "eql", |_, args| {
+        arity("eql", &args, 2, Some(2))?;
+        Ok(b(value_eq_identity(&args[0], &args[1])))
+    });
+    reg(gvm, "equal", |_, args| {
+        arity("equal", &args, 2, Some(2))?;
+        Ok(b(args[0] == args[1]))
+    });
+    reg(gvm, "atom", |_, args| {
+        arity("atom", &args, 1, Some(1))?;
+        Ok(b(!matches!(args[0], Value::List(_))))
+    });
+    reg(gvm, "listp", |_, args| {
+        arity("listp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Nil | Value::List(_))))
+    });
+    reg(gvm, "consp", |_, args| {
+        arity("consp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::List(_))))
+    });
+    reg(gvm, "symbolp", |_, args| {
+        arity("symbolp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Symbol(_))))
+    });
+    reg(gvm, "keywordp", |_, args| {
+        arity("keywordp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Keyword(_))))
+    });
+    reg(gvm, "stringp", |_, args| {
+        arity("stringp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Str(_))))
+    });
+    reg(gvm, "numberp", |_, args| {
+        arity("numberp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Int(_) | Value::Float(_))))
+    });
+    reg(gvm, "integerp", |_, args| {
+        arity("integerp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Int(_))))
+    });
+    reg(gvm, "floatp", |_, args| {
+        arity("floatp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Float(_))))
+    });
+    reg(gvm, "functionp", |_, args| {
+        arity("functionp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Func(_))))
+    });
+    reg(gvm, "vectorp", |_, args| {
+        arity("vectorp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Vector(_))))
+    });
+    reg(gvm, "mapp", |_, args| {
+        arity("mapp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Map(_))))
+    });
+    reg(gvm, "characterp", |_, args| {
+        arity("characterp", &args, 1, Some(1))?;
+        Ok(b(matches!(args[0], Value::Char(_))))
+    });
+    reg_raw(gvm, "futurep", |_, args| {
+        arity("futurep", &args, 1, Some(1))?;
+        Ok(b(args[0].as_opaque::<FutureVal>().is_some()))
+    });
+    reg(gvm, "zerop", |_, args| {
+        arity("zerop", &args, 1, Some(1))?;
+        Ok(b(args[0].as_f64() == Some(0.0)))
+    });
+    reg(gvm, "plusp", |_, args| {
+        arity("plusp", &args, 1, Some(1))?;
+        Ok(b(args[0].as_f64().is_some_and(|f| f > 0.0)))
+    });
+    reg(gvm, "minusp", |_, args| {
+        arity("minusp", &args, 1, Some(1))?;
+        Ok(b(args[0].as_f64().is_some_and(|f| f < 0.0)))
+    });
+    reg(gvm, "evenp", |_, args| {
+        arity("evenp", &args, 1, Some(1))?;
+        Ok(b(args[0].as_int().is_some_and(|i| i % 2 == 0)))
+    });
+    reg(gvm, "oddp", |_, args| {
+        arity("oddp", &args, 1, Some(1))?;
+        Ok(b(args[0].as_int().is_some_and(|i| i % 2 != 0)))
+    });
+    reg(gvm, "boundp", |ctx, args| {
+        arity("boundp", &args, 1, Some(1))?;
+        let s = sym_arg("boundp", &args, 0)?;
+        Ok(b(ctx.gvm.get_global(s).is_some()))
+    });
+    reg(gvm, "type-of", |_, args| {
+        arity("type-of", &args, 1, Some(1))?;
+        NativeOutcome::ok(Value::symbol(args[0].type_name()))
+    });
+}

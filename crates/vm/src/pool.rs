@@ -1,0 +1,124 @@
+//! A small work-queue thread pool backing Gozer futures.
+//!
+//! The paper (§4.1) maps futures onto the JVM's `ExecutorService`; this is
+//! the Rust equivalent: fixed worker threads draining a channel of boxed
+//! jobs. BlueBox supplies its own load-balancing-aware executor in
+//! production — the `bluebox` crate does the same by constructing the pool
+//! with a node-specific size.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size thread pool. Dropping the pool closes the queue and joins
+/// the workers (outstanding jobs finish first).
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `size` workers (at least 1).
+    pub fn new(size: usize) -> Arc<ThreadPool> {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("gozer-future-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Arc::new(ThreadPool {
+            tx: Some(tx),
+            workers,
+            size,
+        })
+    }
+
+    /// Pool with one worker per available core.
+    pub fn default_size() -> Arc<ThreadPool> {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ThreadPool::new(n)
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit a job. Jobs submitted after shutdown are silently dropped
+    /// (only reachable during teardown races).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the queue so workers exit, then join them.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_concurrently() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = unbounded();
+        for _ in 0..100 {
+            let counter = counter.clone();
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = counter.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn minimum_one_worker() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! First-class continuations (`push-cc` / `%resume-cc`, paper §3.1/§4.1)
+//! and deeper condition-system interactions.
+
+use gozer_lang::Value;
+use gozer_vm::{Gvm, RunOutcome};
+
+fn eval(src: &str) -> Value {
+    let gvm = Gvm::with_pool_size(2);
+    gvm.eval_str(src)
+        .unwrap_or_else(|e| panic!("eval failed: {e}\nsource: {src}"))
+}
+
+#[test]
+fn push_cc_returns_a_continuation_object() {
+    let gvm = Gvm::with_pool_size(1);
+    gvm.eval_str("(defun wf () (let ((k (push-cc))) (type-of k)))")
+        .unwrap();
+    let f = gvm.function("wf").unwrap();
+    let RunOutcome::Done(v) = gvm.call_fiber(&f, vec![]).unwrap() else {
+        panic!("expected completion");
+    };
+    assert_eq!(v, Value::symbol("continuation"));
+}
+
+#[test]
+fn resume_cc_restarts_from_capture_point() {
+    // Classic loop-via-continuation: capture once, re-enter until a
+    // counter reaches the limit. The captured state snapshots `n`, so
+    // each resume must pass the next value explicitly.
+    let gvm = Gvm::with_pool_size(1);
+    gvm.eval_str(
+        "(defvar *trips* 0)
+         (defun wf ()
+           (let ((k (push-cc)))
+             ;; k is the continuation value on first pass; on re-entry it
+             ;; is whatever %resume-cc delivered.
+             (setq *trips* (+ *trips* 1))
+             (if (< *trips* 4)
+                 (%resume-cc (if (functionp k) nil k) :again)
+                 :done)))",
+    )
+    .unwrap();
+    // The continuation value isn't a function; stash it in a global on
+    // first pass instead.
+    let gvm2 = Gvm::with_pool_size(1);
+    gvm2.eval_str(
+        "(defvar *k* nil)
+         (defvar *trips* 0)
+         (defun wf ()
+           (let ((k (push-cc)))
+             (when (equal (type-of k) 'continuation)
+               (setq *k* k))
+             (setq *trips* (+ *trips* 1))
+             (if (< *trips* 4)
+                 (%resume-cc *k* :again)
+                 (list :done *trips*))))",
+    )
+    .unwrap();
+    let f = gvm2.function("wf").unwrap();
+    let RunOutcome::Done(v) = gvm2.call_fiber(&f, vec![]).unwrap() else {
+        panic!("expected completion");
+    };
+    // NOTE: *trips* is a process-global, not part of the continuation, so
+    // it survives re-entry: 4 trips total.
+    assert_eq!(v, gvm2.eval_str("(list :done 4)").unwrap());
+}
+
+#[test]
+fn continuation_is_multi_shot() {
+    // The same continuation can be resumed any number of times; each
+    // entry sees the captured locals.
+    let gvm = Gvm::with_pool_size(1);
+    gvm.eval_str(
+        "(defvar *k* nil)
+         (defvar *count* 0)
+         (defun capture ()
+           (let ((v (push-cc)))
+             (when (equal (type-of v) 'continuation)
+               (setq *k* v)
+               (setq v :first))
+             v))
+         (defun driver ()
+           (let ((first (capture)))
+             (setq *count* (+ *count* 1))
+             (if (< *count* 3)
+                 (%resume-cc *k* (list :resumed *count*))
+                 (list first *count*))))",
+    )
+    .unwrap();
+    let f = gvm.function("driver").unwrap();
+    let RunOutcome::Done(v) = gvm.call_fiber(&f, vec![]).unwrap() else {
+        panic!()
+    };
+    // Third pass: capture returned (list :resumed 2), count = 3.
+    assert_eq!(v, gvm.eval_str("(list (list :resumed 2) 3)").unwrap());
+}
+
+#[test]
+fn resume_cc_is_rejected_in_nested_contexts() {
+    let gvm = Gvm::with_pool_size(2);
+    let err = gvm
+        .eval_str(
+            "(defvar *k2* nil)
+             (defun wf ()
+               (let ((k (push-cc)))
+                 (when (equal (type-of k) 'continuation)
+                   (setq *k2* k)
+                   ;; resuming from a future (background) thread must fail
+                   (touch (future (%resume-cc *k2* 1))))))
+             nil",
+        )
+        .and_then(|_| {
+            let f = gvm.function("wf").unwrap();
+            gvm.call_fiber(&f, vec![]).map(|_| Value::Nil)
+        });
+    assert!(err.is_err(), "expected nested resume to error");
+}
+
+// ---- deeper condition-system behaviour ----------------------------------
+
+#[test]
+fn handler_established_inside_handler_body() {
+    // A handler's own body can signal; outer handlers see it.
+    assert_eq!(
+        eval(
+            "(restart-case
+               (handler-bind (lambda (outer-c) (invoke-restart 'done :outer))
+                 (handler-bind (lambda (inner-c) (error \"re-signal\"))
+                   (signal \"original\")))
+               (done (v) v))"
+        ),
+        Value::keyword("outer")
+    );
+}
+
+#[test]
+fn restart_case_nested_same_name_picks_innermost() {
+    assert_eq!(
+        eval(
+            "(restart-case
+               (restart-case
+                 (handler-bind (lambda (c) (invoke-restart 'r :inner))
+                   (error \"x\"))
+                 (r (v) (list :inner-clause v)))
+               (r (v) (list :outer-clause v)))"
+        ),
+        eval("(list :inner-clause :inner)")
+    );
+}
+
+#[test]
+fn restart_args_are_delivered_in_order() {
+    assert_eq!(
+        eval(
+            "(restart-case
+               (handler-bind (lambda (c) (invoke-restart 'use 1 2 3))
+                 (error \"x\"))
+               (use (a b c) (list c b a)))"
+        ),
+        eval("(list 3 2 1)")
+    );
+}
+
+#[test]
+fn compute_restarts_sees_active_restarts() {
+    assert_eq!(
+        eval(
+            "(restart-case
+               (restart-case
+                 (handler-bind (lambda (c) (invoke-restart 'report (compute-restarts)))
+                   (error \"x\"))
+                 (a () nil)
+                 (b () nil))
+               (report (rs) (length rs))
+               (c () nil))"
+        ),
+        // report, c, a, b visible at signal time (report + c from outer,
+        // a + b from inner).
+        Value::Int(4)
+    );
+}
+
+#[test]
+fn signal_inside_loop_restarts_at_right_frame() {
+    // Transfer out of a deep call chain lands at the restart-case frame.
+    assert_eq!(
+        eval(
+            "(defun level3 () (error \"deep\"))
+             (defun level2 () (level3))
+             (defun level1 () (level2))
+             (restart-case
+               (handler-bind (lambda (c) (invoke-restart 'catch))
+                 (level1))
+               (catch () :caught))"
+        ),
+        Value::keyword("caught")
+    );
+}
+
+#[test]
+fn yields_inside_restart_case_work() {
+    // A fiber can suspend while restarts are established; the dynamic
+    // stacks travel with the continuation.
+    let gvm = Gvm::with_pool_size(1);
+    gvm.eval_str(
+        "(defun wf ()
+           (restart-case
+             (progn
+               (yield :mid)
+               (handler-bind (lambda (c) (invoke-restart 'r :recovered))
+                 (error \"after resume\")))
+             (r (v) v)))",
+    )
+    .unwrap();
+    let f = gvm.function("wf").unwrap();
+    let RunOutcome::Suspended(s) = gvm.call_fiber(&f, vec![]).unwrap() else {
+        panic!("expected suspension");
+    };
+    let RunOutcome::Done(v) = gvm.resume_fiber(s.state, Value::Nil).unwrap() else {
+        panic!("expected completion");
+    };
+    assert_eq!(v, Value::keyword("recovered"));
+}

@@ -1,0 +1,82 @@
+//! Namespace-qualified names, with the `{uri}local` string form the paper
+//! uses for error designators (Listing 6: `"{urn:service}Connect"`).
+
+use std::fmt;
+
+/// A namespace-qualified name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QName {
+    /// Namespace URI (empty = no namespace).
+    pub ns: String,
+    /// Local part.
+    pub local: String,
+}
+
+impl QName {
+    /// Qualified name.
+    pub fn new(ns: &str, local: &str) -> QName {
+        QName {
+            ns: ns.to_string(),
+            local: local.to_string(),
+        }
+    }
+
+    /// Un-namespaced name.
+    pub fn local(local: &str) -> QName {
+        QName::new("", local)
+    }
+
+    /// Parse the `{uri}local` form (also accepts a bare local name).
+    pub fn parse(s: &str) -> Option<QName> {
+        if let Some(rest) = s.strip_prefix('{') {
+            let (ns, local) = rest.split_once('}')?;
+            if local.is_empty() {
+                return None;
+            }
+            Some(QName::new(ns, local))
+        } else if s.is_empty() {
+            None
+        } else {
+            Some(QName::local(s))
+        }
+    }
+
+    /// The `{uri}local` string form (bare local when un-namespaced).
+    pub fn to_designator(&self) -> String {
+        if self.ns.is_empty() {
+            self.local.clone()
+        } else {
+            format!("{{{}}}{}", self.ns, self.local)
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_designator())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print() {
+        let q = QName::parse("{urn:service}Connect").unwrap();
+        assert_eq!(q.ns, "urn:service");
+        assert_eq!(q.local, "Connect");
+        assert_eq!(q.to_designator(), "{urn:service}Connect");
+
+        let plain = QName::parse("Connect").unwrap();
+        assert_eq!(plain.ns, "");
+        assert_eq!(plain.to_designator(), "Connect");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(QName::parse("").is_none());
+        assert!(QName::parse("{urn:x}").is_none());
+        assert!(QName::parse("{unclosed").is_none());
+    }
+}

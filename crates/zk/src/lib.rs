@@ -1,0 +1,598 @@
+#![warn(missing_docs)]
+
+//! # zk-lite
+//!
+//! An in-process reproduction of the Apache ZooKeeper coordination
+//! primitives Vinz adopts in §4.2 of the paper (as the replacement for
+//! opaque NFS file locks): a hierarchical namespace of *znodes* with
+//! versioned data, ephemeral and sequential creation modes, one-shot
+//! watches, and the standard distributed-lock recipe built on ephemeral
+//! sequential nodes.
+//!
+//! Sessions model clients on different cluster nodes: closing a session
+//! (normally or by simulated crash) removes its ephemeral nodes and fires
+//! the relevant watches — which is exactly the property that makes the
+//! lock recipe robust against holder failure.
+//!
+//! ```
+//! use zk_lite::{ZkServer, CreateMode};
+//! let server = ZkServer::new();
+//! let s = server.session();
+//! s.create("/config", b"v1".to_vec(), CreateMode::Persistent).unwrap();
+//! let (data, version) = s.get("/config").unwrap();
+//! assert_eq!(data, b"v1");
+//! s.set("/config", b"v2".to_vec(), Some(version)).unwrap();
+//! ```
+
+pub mod lock;
+
+pub use lock::DistributedLock;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Node creation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateMode {
+    /// Survives session close.
+    Persistent,
+    /// Deleted when the creating session closes.
+    Ephemeral,
+    /// Persistent with a monotonically increasing suffix.
+    PersistentSequential,
+    /// Ephemeral with a monotonically increasing suffix.
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    fn is_ephemeral(self) -> bool {
+        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+    }
+    fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            CreateMode::PersistentSequential | CreateMode::EphemeralSequential
+        )
+    }
+}
+
+/// Watch event types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Node created.
+    Created,
+    /// Node deleted.
+    Deleted,
+    /// Node data changed.
+    DataChanged,
+    /// Node's child list changed.
+    ChildrenChanged,
+}
+
+/// A delivered watch event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// Path the watch was set on.
+    pub path: String,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkError {
+    /// Path does not exist.
+    NoNode(String),
+    /// Path already exists.
+    NodeExists(String),
+    /// Version check failed.
+    BadVersion {
+        /// The version the caller expected.
+        expected: u64,
+        /// The node's actual version.
+        actual: u64,
+    },
+    /// Node has children and cannot be deleted.
+    NotEmpty(String),
+    /// Session has been closed.
+    SessionExpired,
+    /// Malformed path.
+    BadPath(String),
+}
+
+impl std::fmt::Display for ZkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZkError::NoNode(p) => write!(f, "no node: {p}"),
+            ZkError::NodeExists(p) => write!(f, "node exists: {p}"),
+            ZkError::BadVersion { expected, actual } => {
+                write!(f, "bad version: expected {expected}, actual {actual}")
+            }
+            ZkError::NotEmpty(p) => write!(f, "node not empty: {p}"),
+            ZkError::SessionExpired => write!(f, "session expired"),
+            ZkError::BadPath(p) => write!(f, "bad path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ZkError {}
+
+/// Result alias.
+pub type ZkResult<T> = Result<T, ZkError>;
+
+struct ZNode {
+    data: Vec<u8>,
+    version: u64,
+    children: BTreeMap<String, ZNode>,
+    ephemeral_owner: Option<u64>,
+    seq_counter: u64,
+}
+
+impl ZNode {
+    fn new(data: Vec<u8>, ephemeral_owner: Option<u64>) -> ZNode {
+        ZNode {
+            data,
+            version: 0,
+            children: BTreeMap::new(),
+            ephemeral_owner,
+            seq_counter: 0,
+        }
+    }
+}
+
+type Watcher = (String, WatchKind, Sender<WatchEvent>);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WatchKind {
+    Node,
+    Children,
+}
+
+struct State {
+    root: ZNode,
+    watchers: Vec<Watcher>,
+    next_session: u64,
+    /// Paths of ephemeral nodes per live session.
+    ephemerals: BTreeMap<u64, Vec<String>>,
+}
+
+/// The coordination service.
+pub struct ZkServer {
+    state: Mutex<State>,
+}
+
+impl Default for ZkServer {
+    fn default() -> Self {
+        Self::new_inner()
+    }
+}
+
+impl ZkServer {
+    /// New empty server.
+    pub fn new() -> Arc<ZkServer> {
+        Arc::new(Self::new_inner())
+    }
+
+    fn new_inner() -> ZkServer {
+        ZkServer {
+            state: Mutex::new(State {
+                root: ZNode::new(Vec::new(), None),
+                watchers: Vec::new(),
+                next_session: 1,
+                ephemerals: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Open a client session.
+    pub fn session(self: &Arc<ZkServer>) -> Session {
+        let mut st = self.state.lock();
+        let id = st.next_session;
+        st.next_session += 1;
+        st.ephemerals.insert(id, Vec::new());
+        Session {
+            server: self.clone(),
+            id,
+            closed: Mutex::new(false),
+        }
+    }
+
+    fn fire(st: &mut State, path: &str, kind: EventKind, watch_kind: WatchKind) {
+        // One-shot semantics: matching watchers are removed and notified.
+        let mut remaining = Vec::with_capacity(st.watchers.len());
+        for (wpath, wkind, tx) in st.watchers.drain(..) {
+            if wpath == path && wkind == watch_kind {
+                let _ = tx.send(WatchEvent {
+                    path: wpath,
+                    kind: kind.clone(),
+                });
+            } else {
+                remaining.push((wpath, wkind, tx));
+            }
+        }
+        st.watchers = remaining;
+    }
+
+    fn close_session(&self, id: u64) {
+        let mut st = self.state.lock();
+        let Some(paths) = st.ephemerals.remove(&id) else {
+            return;
+        };
+        // Delete deepest-first so parents empty out.
+        let mut paths = paths;
+        paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        for p in paths {
+            let existed = {
+                let (parent, leaf) = match split_path(&p) {
+                    Ok(v) => v,
+                    Err(_) => continue,
+                };
+                match lookup_mut(&mut st.root, &parent) {
+                    Some(dir) => dir.children.remove(leaf).is_some(),
+                    None => false,
+                }
+            };
+            if existed {
+                ZkServer::fire(&mut st, &p, EventKind::Deleted, WatchKind::Node);
+                if let Some(parent) = parent_path(&p) {
+                    ZkServer::fire(&mut st, &parent, EventKind::ChildrenChanged, WatchKind::Children);
+                }
+            }
+        }
+    }
+}
+
+fn components(path: &str) -> ZkResult<Vec<&str>> {
+    if !path.starts_with('/') || (path.len() > 1 && path.ends_with('/')) {
+        return Err(ZkError::BadPath(path.to_string()));
+    }
+    Ok(path.split('/').filter(|c| !c.is_empty()).collect())
+}
+
+fn split_path(path: &str) -> ZkResult<(Vec<&str>, &str)> {
+    let mut comps = components(path)?;
+    let leaf = comps.pop().ok_or_else(|| ZkError::BadPath(path.into()))?;
+    Ok((comps, leaf))
+}
+
+fn parent_path(path: &str) -> Option<String> {
+    let idx = path.rfind('/')?;
+    Some(if idx == 0 { "/".into() } else { path[..idx].into() })
+}
+
+fn lookup<'a>(root: &'a ZNode, comps: &[&str]) -> Option<&'a ZNode> {
+    let mut node = root;
+    for c in comps {
+        node = node.children.get(*c)?;
+    }
+    Some(node)
+}
+
+fn lookup_mut<'a>(root: &'a mut ZNode, comps: &[&str]) -> Option<&'a mut ZNode> {
+    let mut node = root;
+    for c in comps {
+        node = node.children.get_mut(*c)?;
+    }
+    Some(node)
+}
+
+/// A client session. Dropping it closes the session (removing its
+/// ephemeral nodes), modelling a node crash or clean disconnect.
+pub struct Session {
+    server: Arc<ZkServer>,
+    id: u64,
+    closed: Mutex<bool>,
+}
+
+impl Session {
+    /// Session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn check_open(&self) -> ZkResult<()> {
+        if *self.closed.lock() {
+            Err(ZkError::SessionExpired)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Create a node, returning its actual path (sequential modes append
+    /// a zero-padded counter).
+    pub fn create(&self, path: &str, data: Vec<u8>, mode: CreateMode) -> ZkResult<String> {
+        self.check_open()?;
+        let (parent_comps, leaf) = split_path(path)?;
+        let mut st = self.server.state.lock();
+        let session_id = self.id;
+        let parent = lookup_mut(&mut st.root, &parent_comps)
+            .ok_or_else(|| ZkError::NoNode(parent_path(path).unwrap_or_default()))?;
+        let actual_leaf = if mode.is_sequential() {
+            let n = parent.seq_counter;
+            parent.seq_counter += 1;
+            format!("{leaf}{n:010}")
+        } else {
+            leaf.to_string()
+        };
+        if parent.children.contains_key(&actual_leaf) {
+            return Err(ZkError::NodeExists(path.to_string()));
+        }
+        let owner = mode.is_ephemeral().then_some(session_id);
+        parent
+            .children
+            .insert(actual_leaf.clone(), ZNode::new(data, owner));
+        let actual_path = if parent_comps.is_empty() {
+            format!("/{actual_leaf}")
+        } else {
+            format!("/{}/{actual_leaf}", parent_comps.join("/"))
+        };
+        if mode.is_ephemeral() {
+            st.ephemerals
+                .entry(session_id)
+                .or_default()
+                .push(actual_path.clone());
+        }
+        ZkServer::fire(&mut st, &actual_path, EventKind::Created, WatchKind::Node);
+        if let Some(pp) = parent_path(&actual_path) {
+            ZkServer::fire(&mut st, &pp, EventKind::ChildrenChanged, WatchKind::Children);
+        }
+        Ok(actual_path)
+    }
+
+    /// Read a node's data and version.
+    pub fn get(&self, path: &str) -> ZkResult<(Vec<u8>, u64)> {
+        self.check_open()?;
+        let comps = components(path)?;
+        let st = self.server.state.lock();
+        let node = lookup(&st.root, &comps).ok_or_else(|| ZkError::NoNode(path.into()))?;
+        Ok((node.data.clone(), node.version))
+    }
+
+    /// Write a node's data. `expected_version` of `None` skips the check
+    /// (ZooKeeper's `version = -1`). Returns the new version.
+    pub fn set(&self, path: &str, data: Vec<u8>, expected_version: Option<u64>) -> ZkResult<u64> {
+        self.check_open()?;
+        let comps = components(path)?;
+        let mut st = self.server.state.lock();
+        let node =
+            lookup_mut(&mut st.root, &comps).ok_or_else(|| ZkError::NoNode(path.into()))?;
+        if let Some(expected) = expected_version {
+            if node.version != expected {
+                return Err(ZkError::BadVersion {
+                    expected,
+                    actual: node.version,
+                });
+            }
+        }
+        node.data = data;
+        node.version += 1;
+        let new_version = node.version;
+        ZkServer::fire(&mut st, path, EventKind::DataChanged, WatchKind::Node);
+        Ok(new_version)
+    }
+
+    /// Delete a leaf node (with optional version check).
+    pub fn delete(&self, path: &str, expected_version: Option<u64>) -> ZkResult<()> {
+        self.check_open()?;
+        let (parent_comps, leaf) = split_path(path)?;
+        let mut st = self.server.state.lock();
+        let parent = lookup_mut(&mut st.root, &parent_comps)
+            .ok_or_else(|| ZkError::NoNode(path.into()))?;
+        let node = parent
+            .children
+            .get(leaf)
+            .ok_or_else(|| ZkError::NoNode(path.into()))?;
+        if let Some(expected) = expected_version {
+            if node.version != expected {
+                return Err(ZkError::BadVersion {
+                    expected,
+                    actual: node.version,
+                });
+            }
+        }
+        if !node.children.is_empty() {
+            return Err(ZkError::NotEmpty(path.into()));
+        }
+        let owner = node.ephemeral_owner;
+        parent.children.remove(leaf);
+        // Unregister from the owning session's ephemeral list.
+        if let Some(owner) = owner {
+            if let Some(paths) = st.ephemerals.get_mut(&owner) {
+                paths.retain(|p| p != path);
+            }
+        }
+        ZkServer::fire(&mut st, path, EventKind::Deleted, WatchKind::Node);
+        if let Some(pp) = parent_path(path) {
+            ZkServer::fire(&mut st, &pp, EventKind::ChildrenChanged, WatchKind::Children);
+        }
+        Ok(())
+    }
+
+    /// Does the node exist?
+    pub fn exists(&self, path: &str) -> ZkResult<bool> {
+        self.check_open()?;
+        let comps = components(path)?;
+        let st = self.server.state.lock();
+        Ok(lookup(&st.root, &comps).is_some())
+    }
+
+    /// Sorted child names.
+    pub fn children(&self, path: &str) -> ZkResult<Vec<String>> {
+        self.check_open()?;
+        let comps = components(path)?;
+        let st = self.server.state.lock();
+        let node = lookup(&st.root, &comps).ok_or_else(|| ZkError::NoNode(path.into()))?;
+        Ok(node.children.keys().cloned().collect())
+    }
+
+    /// Register a one-shot watch on a node (create/delete/data events).
+    /// Returns the channel the event arrives on.
+    pub fn watch_node(&self, path: &str) -> ZkResult<Receiver<WatchEvent>> {
+        self.check_open()?;
+        let (tx, rx) = unbounded();
+        let mut st = self.server.state.lock();
+        st.watchers.push((path.to_string(), WatchKind::Node, tx));
+        Ok(rx)
+    }
+
+    /// Register a one-shot watch on a node's child list.
+    pub fn watch_children(&self, path: &str) -> ZkResult<Receiver<WatchEvent>> {
+        self.check_open()?;
+        let (tx, rx) = unbounded();
+        let mut st = self.server.state.lock();
+        st.watchers
+            .push((path.to_string(), WatchKind::Children, tx));
+        Ok(rx)
+    }
+
+    /// Create the full path if missing (persistent intermediate nodes).
+    pub fn ensure_path(&self, path: &str) -> ZkResult<()> {
+        let comps = components(path)?;
+        let mut sofar = String::new();
+        for c in comps {
+            sofar.push('/');
+            sofar.push_str(c);
+            match self.create(&sofar, Vec::new(), CreateMode::Persistent) {
+                Ok(_) | Err(ZkError::NodeExists(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Close the session, deleting its ephemeral nodes.
+    pub fn close(&self) {
+        let mut closed = self.closed.lock();
+        if !*closed {
+            *closed = true;
+            self.server.close_session(self.id);
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_set_delete() {
+        let server = ZkServer::new();
+        let s = server.session();
+        s.create("/a", b"1".to_vec(), CreateMode::Persistent).unwrap();
+        assert_eq!(s.get("/a").unwrap(), (b"1".to_vec(), 0));
+        let v = s.set("/a", b"2".to_vec(), Some(0)).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(
+            s.set("/a", b"3".to_vec(), Some(0)),
+            Err(ZkError::BadVersion {
+                expected: 0,
+                actual: 1
+            })
+        );
+        s.delete("/a", Some(1)).unwrap();
+        assert!(!s.exists("/a").unwrap());
+    }
+
+    #[test]
+    fn nested_paths_and_children() {
+        let server = ZkServer::new();
+        let s = server.session();
+        s.ensure_path("/x/y").unwrap();
+        s.create("/x/y/c1", vec![], CreateMode::Persistent).unwrap();
+        s.create("/x/y/c2", vec![], CreateMode::Persistent).unwrap();
+        assert_eq!(s.children("/x/y").unwrap(), vec!["c1", "c2"]);
+        assert_eq!(s.delete("/x", None), Err(ZkError::NotEmpty("/x".into())));
+    }
+
+    #[test]
+    fn sequential_nodes_are_ordered() {
+        let server = ZkServer::new();
+        let s = server.session();
+        s.ensure_path("/locks").unwrap();
+        let p1 = s
+            .create("/locks/lock-", vec![], CreateMode::EphemeralSequential)
+            .unwrap();
+        let p2 = s
+            .create("/locks/lock-", vec![], CreateMode::EphemeralSequential)
+            .unwrap();
+        assert!(p1 < p2, "{p1} < {p2}");
+        assert_eq!(s.children("/locks").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ephemerals_vanish_on_session_close() {
+        let server = ZkServer::new();
+        let s1 = server.session();
+        let s2 = server.session();
+        s1.ensure_path("/e").unwrap();
+        s1.create("/e/tmp", vec![], CreateMode::Ephemeral).unwrap();
+        s1.create("/e/keep", vec![], CreateMode::Persistent).unwrap();
+        assert!(s2.exists("/e/tmp").unwrap());
+        s1.close();
+        assert!(!s2.exists("/e/tmp").unwrap());
+        assert!(s2.exists("/e/keep").unwrap());
+        assert_eq!(s1.get("/e/keep"), Err(ZkError::SessionExpired));
+    }
+
+    #[test]
+    fn watches_fire_once() {
+        let server = ZkServer::new();
+        let s = server.session();
+        s.create("/w", b"0".to_vec(), CreateMode::Persistent).unwrap();
+        let rx = s.watch_node("/w").unwrap();
+        s.set("/w", b"1".to_vec(), None).unwrap();
+        let ev = rx.try_recv().unwrap();
+        assert_eq!(ev.kind, EventKind::DataChanged);
+        // One-shot: a second change does not re-fire.
+        s.set("/w", b"2".to_vec(), None).unwrap();
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn child_watches() {
+        let server = ZkServer::new();
+        let s = server.session();
+        s.ensure_path("/cw").unwrap();
+        let rx = s.watch_children("/cw").unwrap();
+        s.create("/cw/k", vec![], CreateMode::Persistent).unwrap();
+        assert_eq!(rx.try_recv().unwrap().kind, EventKind::ChildrenChanged);
+    }
+
+    #[test]
+    fn delete_watch_fires_on_session_crash() {
+        let server = ZkServer::new();
+        let holder = server.session();
+        let observer = server.session();
+        holder.ensure_path("/locks").unwrap();
+        let p = holder
+            .create("/locks/l-", vec![], CreateMode::EphemeralSequential)
+            .unwrap();
+        let rx = observer.watch_node(&p).unwrap();
+        drop(holder); // crash
+        assert_eq!(rx.try_recv().unwrap().kind, EventKind::Deleted);
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let server = ZkServer::new();
+        let s = server.session();
+        assert!(matches!(
+            s.create("no-slash", vec![], CreateMode::Persistent),
+            Err(ZkError::BadPath(_))
+        ));
+        assert!(matches!(s.get("/a/"), Err(ZkError::BadPath(_))));
+        assert!(matches!(
+            s.create("/missing/child", vec![], CreateMode::Persistent),
+            Err(ZkError::NoNode(_))
+        ));
+    }
+}

@@ -1,0 +1,138 @@
+//! Higher-level coordination patterns over zk-lite: optimistic
+//! concurrency with version CAS, watch re-registration loops, and
+//! leader election via the lock recipe.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use zk_lite::{CreateMode, DistributedLock, EventKind, ZkError, ZkServer};
+
+#[test]
+fn optimistic_counter_with_version_cas() {
+    // Several sessions increment a counter with compare-and-set retries —
+    // the ZooKeeper idiom Vinz's task variables could use.
+    let server = ZkServer::new();
+    {
+        let s = server.session();
+        s.create("/counter", b"0".to_vec(), CreateMode::Persistent)
+            .unwrap();
+    }
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let s = server.session();
+                for _ in 0..50 {
+                    loop {
+                        let (data, version) = s.get("/counter").unwrap();
+                        let n: i64 = String::from_utf8_lossy(&data).parse().unwrap();
+                        match s.set("/counter", (n + 1).to_string().into_bytes(), Some(version)) {
+                            Ok(_) => break,
+                            Err(ZkError::BadVersion { .. }) => continue, // lost the race
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = server.session();
+    let (data, _) = s.get("/counter").unwrap();
+    assert_eq!(String::from_utf8_lossy(&data), "300");
+}
+
+#[test]
+fn watch_reregistration_observes_every_generation() {
+    // One-shot watches must be re-registered; a careful reader using
+    // read-then-watch never misses that data *changed* (it may skip
+    // intermediate values, which is ZooKeeper's contract too).
+    let server = ZkServer::new();
+    let writer = server.session();
+    writer
+        .create("/gen", b"0".to_vec(), CreateMode::Persistent)
+        .unwrap();
+    let last_seen = Arc::new(AtomicI64::new(0));
+    let last2 = last_seen.clone();
+    let server2 = server.clone();
+    let reader = std::thread::spawn(move || {
+        let s = server2.session();
+        loop {
+            let rx = s.watch_node("/gen").unwrap();
+            let (data, _) = s.get("/gen").unwrap();
+            let n: i64 = String::from_utf8_lossy(&data).parse().unwrap();
+            last2.store(n, Ordering::SeqCst);
+            if n >= 20 {
+                return;
+            }
+            // Block until the next change (or give up after a while).
+            if rx.recv_timeout(Duration::from_secs(5)).is_err() {
+                return;
+            }
+        }
+    });
+    for i in 1..=20i64 {
+        writer
+            .set("/gen", i.to_string().into_bytes(), None)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    reader.join().unwrap();
+    assert_eq!(last_seen.load(Ordering::SeqCst), 20);
+}
+
+#[test]
+fn leader_election_via_lock_recipe() {
+    // Whoever holds the lock is the leader; on crash, leadership moves.
+    let server = ZkServer::new();
+    let s1 = server.session();
+    let s2 = server.session();
+    let leader1 = DistributedLock::acquire(&s1, "/election", Duration::from_secs(1))
+        .unwrap()
+        .expect("first contender leads");
+    // The standby can observe the leader's ephemeral node.
+    let leader_node = leader1.node_path().to_string();
+    assert!(s2.exists(&leader_node).unwrap());
+    // Leader crashes; standby takes over promptly.
+    let standby = std::thread::spawn(move || {
+        DistributedLock::acquire(&s2, "/election", Duration::from_secs(5))
+            .unwrap()
+            .is_some()
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    s1.close();
+    assert!(standby.join().unwrap());
+}
+
+#[test]
+fn created_event_fires_for_awaited_nodes() {
+    let server = ZkServer::new();
+    let s = server.session();
+    let rx = s.watch_node("/flag").unwrap();
+    let server2 = server.clone();
+    std::thread::spawn(move || {
+        let w = server2.session();
+        std::thread::sleep(Duration::from_millis(10));
+        w.create("/flag", vec![], CreateMode::Persistent).unwrap();
+    });
+    let ev = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(ev.kind, EventKind::Created);
+    assert_eq!(ev.path, "/flag");
+}
+
+#[test]
+fn sequential_numbering_is_per_parent() {
+    let server = ZkServer::new();
+    let s = server.session();
+    s.ensure_path("/a").unwrap();
+    s.ensure_path("/b").unwrap();
+    let a0 = s.create("/a/n-", vec![], CreateMode::PersistentSequential).unwrap();
+    let b0 = s.create("/b/n-", vec![], CreateMode::PersistentSequential).unwrap();
+    let a1 = s.create("/a/n-", vec![], CreateMode::PersistentSequential).unwrap();
+    assert!(a0.ends_with("0000000000"), "{a0}");
+    assert!(b0.ends_with("0000000000"), "{b0}");
+    assert!(a1.ends_with("0000000001"), "{a1}");
+}

@@ -1,0 +1,6 @@
+//! Top-level package of the Gozer reproduction: hosts the repo-wide
+//! integration tests (`tests/`) and runnable examples (`examples/`). The
+//! actual library lives in the [`gozer`] facade crate; this simply
+//! re-exports it.
+
+pub use gozer::*;

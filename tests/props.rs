@@ -1,0 +1,108 @@
+//! Property-based tests over the core data paths: reader/printer
+//! round-trips, serialization round-trips for arbitrary values, and
+//! compression round-trips for arbitrary byte strings.
+
+use gozer::{deserialize_value, serialize_value, Codec, Gvm, Reader, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary serializable Gozer data values.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        Just(Value::Bool(true)),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks equality, infinities print
+        // unreadably — neither appears in workflow data.
+        (-1e15f64..1e15).prop_map(Value::Float),
+        // "t" and "nil" read back as boolean/nil, not symbols.
+        "[a-z][a-z0-9-]{0,8}"
+            .prop_filter("reserved token", |s| s != "t" && s != "nil")
+            .prop_map(|s| Value::symbol(&s)),
+        "[a-z][a-z0-9-]{0,8}".prop_map(|s| Value::keyword(&s)),
+        "[ -~]{0,20}".prop_map(Value::from),
+        proptest::char::range('a', 'z').prop_map(Value::Char),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::list),
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::vector),
+            proptest::collection::vec((inner.clone(), inner), 0..4).prop_map(|pairs| {
+                Value::Map(std::sync::Arc::new(gozer_lang::AssocMap::from_pairs(pairs)))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_read_roundtrip(v in value_strategy()) {
+        // Readable print must re-read to an equal value.
+        let printed = format!("{v:?}");
+        let back = Reader::read_one_str(&printed)
+            .unwrap_or_else(|e| panic!("unreadable print {printed:?}: {e}"));
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn serialize_roundtrip_all_codecs(v in value_strategy()) {
+        let gvm = Gvm::with_pool_size(1);
+        for codec in [Codec::None, Codec::Deflate, Codec::Gzip] {
+            let bytes = serialize_value(&v, codec).unwrap();
+            let back = deserialize_value(&bytes, &gvm).unwrap();
+            prop_assert_eq!(&back, &v, "codec {:?}", codec);
+        }
+    }
+
+    #[test]
+    fn compression_roundtrip_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for codec in [Codec::Deflate, Codec::Gzip] {
+            let packed = codec.compress(&data);
+            let back = codec.decompress(&packed).unwrap();
+            prop_assert_eq!(&back, &data, "codec {:?}", codec);
+        }
+    }
+
+    #[test]
+    fn compression_roundtrip_repetitive(
+        unit in proptest::collection::vec(any::<u8>(), 1..32),
+        reps in 1usize..200,
+    ) {
+        // Repetitive data stresses the LZ77 match paths (overlaps, long
+        // matches) more than uniform random bytes.
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        for codec in [Codec::Deflate, Codec::Gzip] {
+            let packed = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&packed).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn eval_of_quoted_data_is_identity(v in value_strategy()) {
+        // (quote V) evaluates to V for any data value.
+        let gvm = Gvm::with_pool_size(1);
+        let src = format!("(quote {v:?})");
+        let out = gvm.eval_str(&src).unwrap();
+        prop_assert_eq!(out, v);
+    }
+
+    #[test]
+    fn arith_sum_matches_rust(xs in proptest::collection::vec(-1000i64..1000, 0..20)) {
+        let gvm = Gvm::with_pool_size(1);
+        let items = xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ");
+        let out = gvm.eval_str(&format!("(+ {items})")).unwrap();
+        prop_assert_eq!(out, Value::Int(xs.iter().sum::<i64>()));
+    }
+
+    #[test]
+    fn sort_is_sorted_and_permutation(xs in proptest::collection::vec(-100i64..100, 0..30)) {
+        let gvm = Gvm::with_pool_size(1);
+        let items = xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ");
+        let out = gvm.eval_str(&format!("(sort (list {items}) #'<)")).unwrap();
+        let got: Vec<i64> = out.as_list().unwrap_or(&[]).iter().filter_map(Value::as_int).collect();
+        let mut want = xs.clone();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,151 @@
+//! E11 — §3.1/§3.2 survivability: instance and node failures during
+//! distributed workflows cause only redelivery-sized delays, never lost
+//! work, because every fiber's state lives in the shared store.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gozer::{CrashPoint, GozerSystem, TaskStatus, Value, VinzConfig};
+use vinz::{FileLocks, FileStore};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+const WORKFLOW: &str = "
+(defun main (n)
+  (apply #'+ (for-each (i in (range n)) (* i i))))
+";
+
+fn expected(n: i64) -> Value {
+    Value::Int((0..n).map(|i| i * i).sum())
+}
+
+#[test]
+fn survives_sequential_node_crashes() {
+    let sys = GozerSystem::builder()
+        .nodes(4)
+        .instances_per_node(2)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+    let task = sys.workflow.start("main", vec![Value::Int(24)], None).unwrap();
+    // Take out three of the four nodes while the task runs.
+    for node in 0..3 {
+        std::thread::sleep(Duration::from_millis(15));
+        sys.cluster.kill_node(node, CrashPoint::BeforeProcess);
+    }
+    let rec = sys.wait(&task, TIMEOUT).expect("survives");
+    assert_eq!(rec.status, TaskStatus::Completed(expected(24)));
+    sys.shutdown();
+}
+
+#[test]
+fn survives_crash_after_processing_before_ack() {
+    // The nastier failure mode: work completed but unacknowledged, so the
+    // message is redelivered and the handler must be idempotent. The
+    // fiber version counter + per-fiber lock make re-running from the
+    // persisted state safe.
+    let sys = GozerSystem::builder()
+        .nodes(3)
+        .instances_per_node(2)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+    let task = sys.workflow.start("main", vec![Value::Int(16)], None).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    sys.cluster.kill_node(0, CrashPoint::AfterProcess);
+    let rec = sys.wait(&task, TIMEOUT).expect("survives");
+    assert_eq!(rec.status, TaskStatus::Completed(expected(16)));
+    sys.shutdown();
+}
+
+#[test]
+fn many_tasks_survive_rolling_failures() {
+    let sys = GozerSystem::builder()
+        .nodes(4)
+        .instances_per_node(2)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+    let tasks: Vec<String> = (0..6)
+        .map(|_| sys.workflow.start("main", vec![Value::Int(8)], None).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(10));
+    sys.cluster.kill_node(1, CrashPoint::BeforeProcess);
+    std::thread::sleep(Duration::from_millis(10));
+    sys.cluster.kill_node(2, CrashPoint::AfterProcess);
+    for task in &tasks {
+        let rec = sys.wait(task, TIMEOUT).expect("each survives");
+        assert_eq!(rec.status, TaskStatus::Completed(expected(8)));
+    }
+    // Redelivery only happens when a doomed instance was mid-message at
+    // crash time, which is timing-dependent here; the deterministic
+    // redelivery assertions live in the bluebox crate's tests. What must
+    // hold unconditionally is completion, asserted above.
+    sys.shutdown();
+}
+
+#[test]
+fn file_backed_store_and_locks_full_run() {
+    // The NFS-shaped deployment: state files + lock files in a shared
+    // directory (what production used before ZooKeeper, §4.2).
+    let dir = std::env::temp_dir().join(format!(
+        "gozer-nfs-{}",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let sys = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .store(Arc::new(FileStore::new(dir.join("state")).unwrap()))
+        .locks(Arc::new(FileLocks::new(dir.join("locks")).unwrap()))
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+    let v = sys.call("main", vec![Value::Int(10)], TIMEOUT).unwrap();
+    assert_eq!(v, expected(10));
+    // The store really wrote fiber state to disk.
+    assert!(sys.workflow.store().bytes_written() > 0);
+    sys.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn zookeeper_locks_full_run() {
+    // The replacement lock manager the paper describes developing (§4.2).
+    let zk = gozer::ZkServer::new();
+    let sys = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .locks(Arc::new(gozer::ZkLocks::new(zk)))
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+    let v = sys.call("main", vec![Value::Int(10)], TIMEOUT).unwrap();
+    assert_eq!(v, expected(10));
+    sys.shutdown();
+}
+
+#[test]
+fn awake_lock_contention_requeues_rather_than_blocking() {
+    // §5: concurrent AwakeFibers for the same parent serialize on the
+    // fiber lock; those that cannot get it within the wait limit re-queue
+    // themselves instead of holding their instance hostage.
+    let mut config = VinzConfig::default();
+    config.awake_wait_limit = Duration::from_millis(1);
+    config.spawn_limit = 64;
+    let sys = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(4)
+        .config(config)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+    let v = sys.call("main", vec![Value::Int(32)], TIMEOUT).unwrap();
+    assert_eq!(v, expected(32));
+    // Correctness despite (likely) retries; the retry count is workload
+    // dependent so only the result is asserted. The §5 bench measures
+    // the retry rate.
+    sys.shutdown();
+}
