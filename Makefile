@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain cargo underneath and works
+# offline (the workspace is a pure path-dependency graph).
+
+CARGO ?= cargo
+CHAOS_SEEDS ?= 16
+
+.PHONY: build test test-all test-chaos bench ci
+
+build:
+	$(CARGO) build --release
+
+# Tier-1: the root package's integration suites.
+test:
+	$(CARGO) test -q
+
+# Every crate, including shims.
+test-all:
+	$(CARGO) test --workspace
+
+# The deterministic chaos sweep. Replay a failing seed with
+# CHAOS_SEED=<n> make test-chaos (or the command the failure prints).
+test-chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) test -p vinz --test chaos -- --nocapture
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) test --test survivability
+
+bench:
+	$(CARGO) bench --workspace
+
+ci:
+	sh scripts/ci.sh

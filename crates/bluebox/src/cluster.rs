@@ -10,9 +10,16 @@ use crossbeam::channel::{bounded, Sender};
 use gozer_xml::ServiceDescription;
 use parking_lot::{Mutex, RwLock};
 
+use crate::chaos::{ChaosPlan, FaultAction};
 use crate::message::{Fault, Message, ReplyTo};
 use crate::metrics::Metrics;
 use crate::queue::{Policy, ServiceQueue};
+
+pub use crate::chaos::FaultPoint;
+
+/// Backwards-compatible name for [`FaultPoint`]: manual kill injection
+/// predates the general chaos layer.
+pub type CrashPoint = FaultPoint;
 
 /// A service operation handler. One handler object serves every instance
 /// of the service (instances are threads competing on the queue).
@@ -40,17 +47,6 @@ pub struct ServiceCtx {
     pub instance_id: u64,
     /// The service name.
     pub service: String,
-}
-
-/// Where an injected crash fires relative to message processing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CrashPoint {
-    /// Crash after taking a message but before the handler runs; the
-    /// message is redelivered untouched.
-    BeforeProcess,
-    /// Crash after the handler ran but before the reply/ack: tests
-    /// idempotency under at-least-once delivery.
-    AfterProcess,
 }
 
 /// Errors from synchronous calls.
@@ -83,7 +79,7 @@ struct ServiceEntry {
 
 struct InstanceControl {
     stop: AtomicBool,
-    crash: Mutex<Option<CrashPoint>>,
+    fault: Mutex<Option<FaultPoint>>,
     busy: AtomicBool,
     alive: AtomicBool,
 }
@@ -106,6 +102,7 @@ pub struct Cluster {
     next_corr: AtomicU64,
     next_instance: AtomicU64,
     policy: Policy,
+    chaos: RwLock<Option<Arc<ChaosPlan>>>,
     /// Broker metrics.
     pub metrics: Metrics,
 }
@@ -127,8 +124,26 @@ impl Cluster {
             next_corr: AtomicU64::new(1),
             next_instance: AtomicU64::new(1),
             policy,
+            chaos: RwLock::new(None),
             metrics: Metrics::default(),
         })
+    }
+
+    /// Install a chaos plan: from now on every send, delivery, and
+    /// reply consults it. Replaces any previous plan.
+    pub fn set_chaos(&self, plan: Arc<ChaosPlan>) {
+        *self.chaos.write() = Some(plan);
+    }
+
+    /// Remove the chaos plan (already-scheduled faults stand; no new
+    /// ones are injected).
+    pub fn clear_chaos(&self) {
+        *self.chaos.write() = None;
+    }
+
+    /// The currently installed chaos plan, if any.
+    pub fn chaos_plan(&self) -> Option<Arc<ChaosPlan>> {
+        self.chaos.read().clone()
     }
 
     fn queue(&self, service: &str) -> Arc<ServiceQueue> {
@@ -176,7 +191,7 @@ impl Cluster {
             ids.push(id);
             let control = Arc::new(InstanceControl {
                 stop: AtomicBool::new(false),
-                crash: Mutex::new(None),
+                fault: Mutex::new(None),
                 busy: AtomicBool::new(false),
                 alive: AtomicBool::new(true),
             });
@@ -209,7 +224,19 @@ impl Cluster {
         msg.id = self.next_msg_id.fetch_add(1, Ordering::Relaxed);
         msg.enqueued_at = Instant::now();
         self.metrics.add(&self.metrics.sent, 1);
-        self.queue(&msg.service).push(msg);
+        let queue = self.queue(&msg.service);
+        if let Some(plan) = self.chaos_plan() {
+            if plan.on_send_duplicate(&msg) {
+                let mut dup = msg.clone();
+                dup.id = self.next_msg_id.fetch_add(1, Ordering::Relaxed);
+                queue.push(dup);
+            }
+            if let Some(slots) = plan.on_send_reorder(&msg) {
+                queue.push_displaced(msg, slots);
+                return;
+            }
+        }
+        queue.push(msg);
     }
 
     /// Send a request whose reply is delivered as a fresh request to
@@ -285,6 +312,14 @@ impl Cluster {
                 if result.is_err() {
                     self.metrics.add(&self.metrics.faults, 1);
                 }
+                // Chaos reply loss: the caller's entry stays in
+                // `pending` and the call surfaces as a timeout, exactly
+                // as a vanished reply would in production.
+                if let Some(plan) = self.chaos_plan() {
+                    if plan.on_caller_reply(*correlation) {
+                        return;
+                    }
+                }
                 if let Some(tx) = self.pending.lock().remove(correlation) {
                     let _ = tx.send(result);
                 }
@@ -310,19 +345,21 @@ impl Cluster {
         }
     }
 
-    /// Inject a crash into a specific instance.
-    pub fn kill_instance(&self, instance_id: u64, point: CrashPoint) {
+    /// Inject a crash into a specific instance. The instance dies when
+    /// it next touches the queue — taking (and re-queuing) a message if
+    /// one is available, like a real mid-handoff failure.
+    pub fn kill_instance(&self, instance_id: u64, point: FaultPoint) {
         let instances = self.instances.lock();
         if let Some(h) = instances.iter().find(|h| h.id == instance_id) {
-            *h.control.crash.lock() = Some(point);
+            *h.control.fault.lock() = Some(point);
         }
     }
 
     /// Crash every instance on a node.
-    pub fn kill_node(&self, node_id: u32, point: CrashPoint) {
+    pub fn kill_node(&self, node_id: u32, point: FaultPoint) {
         let instances = self.instances.lock();
         for h in instances.iter().filter(|h| h.node_id == node_id) {
-            *h.control.crash.lock() = Some(point);
+            *h.control.fault.lock() = Some(point);
         }
     }
 
@@ -353,19 +390,13 @@ impl Cluster {
             .unwrap_or(0)
     }
 
-    /// Block until a service's queue is empty and all its instances are
-    /// idle, or the timeout expires. Returns whether it drained.
+    /// Block until a service's queue is empty and all its in-flight
+    /// messages are settled, or the timeout expires. Returns whether it
+    /// drained. Wakes on the queue's idle condition variable — no
+    /// polling, and no pop-to-busy race: a popped message counts as in
+    /// flight until the instance settles it.
     pub fn drain(&self, service: &str, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        loop {
-            if self.queue_depth(service) == 0 && self.busy_instances(service) == 0 {
-                return true;
-            }
-            if Instant::now() > deadline {
-                return false;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        self.queue(service).wait_idle(Instant::now() + timeout)
     }
 
     /// Stop all instances and close all queues.
@@ -397,23 +428,50 @@ fn instance_loop(
             break;
         }
         let Some(msg) = queue.pop(Duration::from_millis(50)) else {
-            // Timeout or close: check the stop/crash flags and retry.
-            if control.crash.lock().is_some() {
+            // Timeout, close, or interrupt: check the stop/fault flags
+            // and retry.
+            if control.fault.lock().is_some() {
                 control.alive.store(false, Ordering::Relaxed);
                 break;
             }
             continue;
         };
+        // The message is leased from here: every exit path below must
+        // settle exactly once.
         let metrics = &cluster.metrics;
         metrics.add(&metrics.delivered, 1);
         metrics.add(
             &metrics.wait_nanos,
             msg.enqueued_at.elapsed().as_nanos() as u64,
         );
-        // Crash before processing: the message is redelivered untouched.
-        if *control.crash.lock() == Some(CrashPoint::BeforeProcess) {
+        // Seeded chaos: the plan decides this delivery's fate from the
+        // message's stable key alone.
+        let chaos = cluster.chaos_plan();
+        if let Some(plan) = &chaos {
+            match plan.on_deliver(&msg) {
+                FaultAction::Deliver => {}
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::DropRedeliver => {
+                    // The handoff is lost in transit: re-queue, stay
+                    // alive (at-least-once redelivery, not a crash).
+                    metrics.add(&metrics.redelivered, 1);
+                    queue.push_front(msg);
+                    queue.settle();
+                    continue;
+                }
+                FaultAction::Crash(point) => {
+                    let node_wide = plan.on_node_scope(&msg);
+                    crash_with(&cluster, &queue, &control, msg, point, &ctx, node_wide);
+                    break;
+                }
+            }
+        }
+        // Manual kill before processing: the message is redelivered
+        // untouched.
+        if *control.fault.lock() == Some(FaultPoint::BeforeProcess) {
             metrics.add(&metrics.redelivered, 1);
             queue.push_front(msg);
+            queue.settle();
             control.alive.store(false, Ordering::Relaxed);
             break;
         }
@@ -424,16 +482,48 @@ fn instance_loop(
         metrics.add(&metrics.busy_nanos, started.elapsed().as_nanos() as u64);
         metrics.exit_flight();
         control.busy.store(false, Ordering::Relaxed);
-        // Crash after processing but before the ack/reply: redelivered,
-        // exercising the at-least-once path (handlers must be
+        // Crash after processing but before the ack/reply (manual kill
+        // or chaos): redelivered even though the handler's effects may
+        // stand, exercising the at-least-once path (handlers must be
         // idempotent, which Vinz guarantees via fiber locks).
-        if *control.crash.lock() == Some(CrashPoint::AfterProcess) {
-            metrics.add(&metrics.redelivered, 1);
-            queue.push_front(msg);
-            control.alive.store(false, Ordering::Relaxed);
+        let manual_after = *control.fault.lock() == Some(FaultPoint::AfterProcess);
+        let chaos_after = chaos.as_ref().is_some_and(|p| p.on_after_process(&msg));
+        if manual_after || chaos_after {
+            let node_wide = chaos_after
+                && chaos.as_ref().is_some_and(|p| p.on_node_scope(&msg));
+            crash_with(
+                &cluster,
+                &queue,
+                &control,
+                msg,
+                FaultPoint::AfterProcess,
+                &ctx,
+                node_wide,
+            );
             break;
         }
         cluster.route_reply(&msg.reply_to, result);
         metrics.add(&metrics.completed, 1);
+        queue.settle();
+    }
+}
+
+/// Die holding `msg`: re-queue it, settle the lease, mark this instance
+/// dead, and optionally take the rest of the node down with it.
+fn crash_with(
+    cluster: &Arc<Cluster>,
+    queue: &Arc<ServiceQueue>,
+    control: &Arc<InstanceControl>,
+    msg: Message,
+    point: FaultPoint,
+    ctx: &ServiceCtx,
+    node_wide: bool,
+) {
+    cluster.metrics.add(&cluster.metrics.redelivered, 1);
+    queue.push_front(msg);
+    queue.settle();
+    control.alive.store(false, Ordering::Relaxed);
+    if node_wide {
+        cluster.kill_node(ctx.node_id, point);
     }
 }

@@ -44,11 +44,15 @@
 //! cluster.shutdown();
 //! ```
 
+pub mod chaos;
 pub mod cluster;
 pub mod message;
 pub mod metrics;
 pub mod queue;
 
+pub use chaos::{
+    ChaosConfig, ChaosPlan, ChaosRng, ChaosStats, ChaosStatsSnapshot, FaultAction, FaultPoint,
+};
 pub use cluster::{CallError, Cluster, CrashPoint, Handler, ServiceCtx};
 pub use message::{Fault, Message, ReplyTo};
 pub use metrics::{Metrics, MetricsSnapshot};

@@ -29,12 +29,24 @@ struct QueueState {
     messages: VecDeque<(u64, Message)>,
     next_seq: u64,
     closed: bool,
+    /// Messages handed to a consumer by [`ServiceQueue::pop`] whose
+    /// processing has not yet been settled. Incremented under the queue
+    /// lock at pop time, so `messages.is_empty() && leased == 0` is a
+    /// race-free "nothing in flight" predicate (the old
+    /// depth-then-busy check could observe the gap between a pop and
+    /// the consumer marking itself busy).
+    leased: usize,
+    /// Bumped by [`ServiceQueue::interrupt`]; blocked pops return early
+    /// when they observe a new epoch so consumers can re-check control
+    /// flags without waiting out their timeout.
+    interrupt_epoch: u64,
 }
 
 /// A service queue.
 pub struct ServiceQueue {
     state: Mutex<QueueState>,
     cond: Condvar,
+    idle_cond: Condvar,
     policy: Policy,
 }
 
@@ -46,8 +58,11 @@ impl ServiceQueue {
                 messages: VecDeque::new(),
                 next_seq: 0,
                 closed: false,
+                leased: 0,
+                interrupt_epoch: 0,
             }),
             cond: Condvar::new(),
+            idle_cond: Condvar::new(),
             policy,
         }
     }
@@ -72,16 +87,35 @@ impl ServiceQueue {
         self.cond.notify_one();
     }
 
-    /// Blocking receive with timeout; `None` on timeout or close.
+    /// Enqueue displaced `slots` positions ahead of the back of the
+    /// queue — a deterministic FCFS-order violation used by the chaos
+    /// layer to simulate broker reordering.
+    pub fn push_displaced(&self, msg: Message, slots: usize) {
+        let mut st = self.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let pos = st.messages.len().saturating_sub(slots);
+        st.messages.insert(pos, (seq, msg));
+        drop(st);
+        self.cond.notify_one();
+    }
+
+    /// Blocking receive with timeout; `None` on timeout, close, or
+    /// [`interrupt`](Self::interrupt). A returned message is *leased*:
+    /// the consumer must call [`settle`](Self::settle) once it has
+    /// finished with it (processed, crashed, or re-queued), or
+    /// [`wait_idle`](Self::wait_idle) will never report idle.
     pub fn pop(&self, timeout: Duration) -> Option<Message> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
+        let epoch = st.interrupt_epoch;
         loop {
             if let Some(idx) = self.select(&st.messages) {
                 let (_, msg) = st.messages.remove(idx).expect("index valid");
+                st.leased += 1;
                 return Some(msg);
             }
-            if st.closed {
+            if st.closed || st.interrupt_epoch != epoch {
                 return None;
             }
             if self.cond.wait_until(&mut st, deadline).timed_out() {
@@ -90,7 +124,42 @@ impl ServiceQueue {
         }
     }
 
-    /// Non-blocking receive.
+    /// Release the lease taken by [`pop`](Self::pop); wakes
+    /// [`wait_idle`](Self::wait_idle) waiters when the queue quiesces.
+    pub fn settle(&self) {
+        let mut st = self.state.lock();
+        st.leased = st.leased.saturating_sub(1);
+        if st.leased == 0 && st.messages.is_empty() {
+            drop(st);
+            self.idle_cond.notify_all();
+        }
+    }
+
+    /// Wake all blocked pops without closing the queue, so consumers
+    /// re-check their control flags (stop/kill) immediately instead of
+    /// waiting out the pop timeout.
+    pub fn interrupt(&self) {
+        self.state.lock().interrupt_epoch += 1;
+        self.cond.notify_all();
+    }
+
+    /// Block until the queue is empty *and* every leased message has
+    /// been settled, or `deadline` passes. Returns whether the queue is
+    /// idle.
+    pub fn wait_idle(&self, deadline: Instant) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            if st.messages.is_empty() && st.leased == 0 {
+                return true;
+            }
+            if self.idle_cond.wait_until(&mut st, deadline).timed_out() {
+                return st.messages.is_empty() && st.leased == 0;
+            }
+        }
+    }
+
+    /// Non-blocking receive. Does *not* lease (intended for tests and
+    /// single-threaded draining, not competing consumers).
     pub fn try_pop(&self) -> Option<Message> {
         let mut st = self.state.lock();
         let idx = self.select(&st.messages)?;
@@ -217,6 +286,51 @@ mod tests {
         let first = q.pop(Duration::from_millis(10)).unwrap();
         assert_eq!(first.operation, "failed");
         assert_eq!(first.redeliveries, 1);
+    }
+
+    #[test]
+    fn wait_idle_waits_for_settle_not_just_empty() {
+        let q = std::sync::Arc::new(ServiceQueue::new(Policy::Fcfs));
+        q.push(msg("x", 0));
+        let m = q.pop(Duration::from_millis(10)).unwrap();
+        assert_eq!(m.operation, "x");
+        // Queue is empty but the message is still leased.
+        assert_eq!(q.depth(), 0);
+        assert!(!q.wait_idle(Instant::now() + Duration::from_millis(30)));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            q2.wait_idle(Instant::now() + Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.settle();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn interrupt_wakes_blocked_pop() {
+        let q = std::sync::Arc::new(ServiceQueue::new(Policy::Fcfs));
+        let q2 = q.clone();
+        let started = Instant::now();
+        let h = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.interrupt();
+        assert!(h.join().unwrap().is_none());
+        assert!(started.elapsed() < Duration::from_secs(5));
+        // The queue still works afterwards.
+        q.push(msg("y", 0));
+        assert_eq!(q.pop(Duration::from_millis(10)).unwrap().operation, "y");
+    }
+
+    #[test]
+    fn push_displaced_jumps_fcfs_order() {
+        let q = ServiceQueue::new(Policy::Fcfs);
+        q.push(msg("a", 0));
+        q.push(msg("b", 0));
+        q.push_displaced(msg("late", 0), 2);
+        let order: Vec<String> = (0..3)
+            .map(|_| q.pop(Duration::from_millis(10)).unwrap().operation)
+            .collect();
+        assert_eq!(order, vec!["late", "a", "b"]);
     }
 
     #[test]

@@ -189,6 +189,62 @@ fn crash_after_process_causes_duplicate_processing() {
 }
 
 #[test]
+fn after_process_redelivery_is_idempotent_when_keyed_by_message_id() {
+    // The discipline Vinz's fiber handlers follow, distilled: an
+    // AfterProcess crash means the work happened but the ack didn't, so
+    // the broker *must* redeliver — and a handler that keys its effect
+    // by message id applies it exactly once anyway.
+    let cluster = Cluster::new();
+    let invocations = Arc::new(AtomicU64::new(0));
+    let effects: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    let redelivered_seen = Arc::new(AtomicU64::new(0));
+    let (inv, eff, red) = (invocations.clone(), effects.clone(), redelivered_seen.clone());
+    cluster.register_service(
+        "ledger",
+        None,
+        Arc::new(move |_: &ServiceCtx, msg: &Message| {
+            inv.fetch_add(1, Ordering::SeqCst);
+            if msg.redeliveries > 0 {
+                red.fetch_add(1, Ordering::SeqCst);
+            }
+            // The idempotency key: redelivery re-presents the same
+            // broker id, so the effect set ignores the second pass.
+            eff.lock().insert(msg.id);
+            Ok(vec![])
+        }),
+    );
+    // Only the doomed instance exists at first, so it must take the
+    // message, process it, and crash before acknowledging.
+    let ids = cluster.spawn_instances("ledger", 0, 1);
+    cluster.kill_instance(ids[0], CrashPoint::AfterProcess);
+    cluster.send(Message::new("ledger", "Credit", vec![]));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while cluster.live_instances("ledger") > 0 {
+        assert!(std::time::Instant::now() < deadline, "instance never crashed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Survivor receives the redelivery of the already-processed message.
+    cluster.spawn_instances("ledger", 1, 1);
+    assert!(cluster.drain("ledger", Duration::from_secs(10)));
+    assert_eq!(
+        invocations.load(Ordering::SeqCst),
+        2,
+        "handler must observe the at-least-once duplicate"
+    );
+    assert_eq!(
+        redelivered_seen.load(Ordering::SeqCst),
+        1,
+        "second delivery must carry the redelivery mark"
+    );
+    assert_eq!(
+        effects.lock().len(),
+        1,
+        "effect keyed by message id applies exactly once"
+    );
+    cluster.shutdown();
+}
+
+#[test]
 fn nested_sync_call_occupies_slot() {
     // One instance of "outer" making a blocking nested call can't take
     // other work meanwhile (the §3.2 waste).

@@ -1,0 +1,49 @@
+//! Run the Listing-1 workflow under seeded fault injection and print
+//! what got injected — the quickest way to see the chaos harness work:
+//!
+//! ```bash
+//! cargo run --release -p gozer --example chaos_demo            # default seed
+//! CHAOS_SEED=7 cargo run --release -p gozer --example chaos_demo
+//! ```
+//!
+//! The same seed always produces the same fault *schedule*; run a seed
+//! twice and the workflow lands on the same answer by the same rules.
+
+use gozer::testing::{chaos_seeds, run_workflow_under_chaos};
+use gozer::{ChaosConfig, Value};
+
+const WORKFLOW: &str = "
+(defun main (n)
+  (apply #'+ (for-each (i in (range n)) (* i i))))
+";
+
+fn main() {
+    let n = 12i64;
+    let expected: i64 = (0..n).map(|i| i * i).sum();
+    for seed in chaos_seeds(4) {
+        match run_workflow_under_chaos(
+            WORKFLOW,
+            "main",
+            vec![Value::Int(n)],
+            ChaosConfig::survivability(seed),
+        ) {
+            Ok(run) => {
+                assert_eq!(run.value, Value::Int(expected));
+                println!(
+                    "seed {seed}: ok (value {expected}{}) — faults {:?}",
+                    if run.recovered {
+                        ", via crash recovery"
+                    } else {
+                        ""
+                    },
+                    run.stats
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!("  replay: CHAOS_SEED={seed} cargo run -p gozer --example chaos_demo");
+                std::process::exit(1);
+            }
+        }
+    }
+}

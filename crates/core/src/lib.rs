@@ -53,7 +53,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use bluebox::{
-    CallError, Cluster, CrashPoint, Fault, Message, MetricsSnapshot, Policy, ServiceCtx,
+    CallError, ChaosConfig, ChaosPlan, ChaosRng, ChaosStatsSnapshot, Cluster, CrashPoint, Fault,
+    FaultAction, FaultPoint, Message, MetricsSnapshot, Policy, ServiceCtx,
 };
 pub use gozer_compress::Codec;
 pub use gozer_lang::{Reader, Symbol, Value};
@@ -66,9 +67,13 @@ pub use vinz::{
 };
 pub use zk_lite::ZkServer;
 
-/// Re-export of the test-service helpers (used by examples and benches).
+/// Re-export of the test-service and chaos-harness helpers (used by
+/// examples, benches, and the randomized survivability suite).
 pub mod testing {
-    pub use vinz::testing::{register_square_service, register_value_service};
+    pub use vinz::testing::{
+        chaos_seeds, register_square_service, register_value_service, repro_command,
+        run_workflow_under_chaos, ChaosRun,
+    };
 }
 
 /// A fully wired deployment: cluster + store + locks + workflow service.

@@ -211,6 +211,85 @@ fn compression_codecs_equivalent_for_state() {
     assert!(gz.len() > defl.len(), "gzip carries framing overhead");
 }
 
+/// Build a random serializable value tree from the chaos harness's
+/// seeded PRNG — the same generator family the distributed chaos suite
+/// uses, so `CHAOS_SEED=<n>` replays a failing tree exactly.
+fn random_tree(rng: &mut bluebox::ChaosRng, depth: u32) -> Value {
+    // Leaves only at the bottom; aggregates become available above it.
+    let choice = if depth == 0 { rng.below(8) } else { rng.below(11) };
+    match choice {
+        0 => Value::Nil,
+        1 => Value::Bool(true),
+        2 => Value::Int(rng.next_u64() as i64),
+        // Dyadic rationals stay exact through any float round-trip.
+        3 => Value::Float(rng.range_i64(-1 << 40, 1 << 40) as f64 / 1024.0),
+        4 => Value::symbol(&format!("s{}", rng.below(10_000))),
+        5 => Value::keyword(&format!("k{}", rng.below(10_000))),
+        6 => {
+            let len = rng.below(20) as usize;
+            let s: String = (0..len)
+                .map(|_| (b' ' + rng.below(95) as u8) as char)
+                .collect();
+            Value::from(s.as_str())
+        }
+        7 => Value::Char((b'a' + rng.below(26) as u8) as char),
+        8 | 9 => {
+            let items: Vec<Value> = (0..rng.below(5))
+                .map(|_| random_tree(rng, depth - 1))
+                .collect();
+            if choice == 8 {
+                Value::list(items)
+            } else {
+                Value::vector(items)
+            }
+        }
+        _ => {
+            let pairs: Vec<(Value, Value)> = (0..rng.below(4))
+                .map(|_| (random_tree(rng, 0), random_tree(rng, depth - 1)))
+                .collect();
+            Value::Map(Arc::new(gozer_lang::AssocMap::from_pairs(pairs)))
+        }
+    }
+}
+
+#[test]
+fn seeded_random_trees_roundtrip_none_and_deflate() {
+    let seed: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0xB1EB_0B00);
+    let gvm = Gvm::with_pool_size(1);
+    let mut rng = bluebox::ChaosRng::new(seed);
+    for case in 0..256 {
+        // Each case gets its own split stream, so one tree's shape never
+        // depends on how much randomness earlier trees consumed.
+        let mut case_rng = rng.split();
+        let v = random_tree(&mut case_rng, 3);
+        for codec in [Codec::None, Codec::Deflate] {
+            let bytes = serialize_value(&v, codec).unwrap_or_else(|e| {
+                panic!(
+                    "case {case} failed to serialize under {codec:?}: {e}\n  \
+                     replay: CHAOS_SEED={seed} cargo test -p gozer-serial \
+                     --test roundtrip seeded_random_trees\n  value: {v:?}"
+                )
+            });
+            let back = deserialize_value(&bytes, &gvm).unwrap_or_else(|e| {
+                panic!(
+                    "case {case} failed to deserialize under {codec:?}: {e}\n  \
+                     replay: CHAOS_SEED={seed} cargo test -p gozer-serial \
+                     --test roundtrip seeded_random_trees\n  value: {v:?}"
+                )
+            });
+            assert_eq!(
+                back, v,
+                "case {case} round-trip mismatch under {codec:?}\n  \
+                 replay: CHAOS_SEED={seed} cargo test -p gozer-serial \
+                 --test roundtrip seeded_random_trees"
+            );
+        }
+    }
+}
+
 #[test]
 fn corrupted_payload_is_rejected() {
     let gvm = Gvm::with_pool_size(1);

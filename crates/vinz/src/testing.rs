@@ -3,7 +3,7 @@
 //! production workflow calls (security managers, pricing engines, ...).
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bluebox::{Cluster, Fault, Message, ServiceCtx};
 use gozer_compress::Codec;
@@ -11,6 +11,15 @@ use gozer_lang::Value;
 use gozer_serial::{deserialize_value, serialize_value};
 use gozer_vm::Gvm;
 use gozer_xml::ServiceDescription;
+
+use crate::service::{VinzConfig, WorkflowService};
+use crate::store::MemStore;
+use crate::InProcessLocks;
+use crate::TaskStatus;
+
+pub use bluebox::chaos::{
+    ChaosConfig, ChaosPlan, ChaosRng, ChaosStatsSnapshot, FaultAction, FaultPoint,
+};
 
 /// Register a service whose handler takes `(operation, request-value)`
 /// and returns a reply value or a fault. The request value is the
@@ -62,6 +71,134 @@ pub fn register_square_service(
     });
     for node in 0..nodes {
         cluster.spawn_instances(name, node, instances_per_node);
+    }
+}
+
+/// The seeds a chaos sweep runs.
+///
+/// * `CHAOS_SEED=<n>` — run exactly that seed (the replay knob printed
+///   by failing tests).
+/// * `CHAOS_SEEDS=<count>` — run `count` seeds from the default base.
+/// * Otherwise — `default_count` seeds from the default base.
+///
+/// The default seeds are consecutive from a fixed base, so a sweep is
+/// itself deterministic run to run.
+pub fn chaos_seeds(default_count: u64) -> Vec<u64> {
+    const BASE: u64 = 0xB1EB_0B00;
+    if let Some(seed) = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+    {
+        return vec![seed];
+    }
+    let count = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default_count);
+    (0..count).map(|i| BASE + i).collect()
+}
+
+/// The one-line command that replays a failing seed, e.g.
+/// `CHAOS_SEED=7 cargo test -p vinz --test chaos survives -- --exact`.
+pub fn repro_command(scope: &str, test: &str, seed: u64) -> String {
+    format!("CHAOS_SEED={seed} cargo test {scope} {test}")
+}
+
+/// Outcome of one seeded survivability run.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// The seed that drove the fault schedule.
+    pub seed: u64,
+    /// The workflow's result value.
+    pub value: Value,
+    /// Faults actually injected.
+    pub stats: ChaosStatsSnapshot,
+    /// Whether the run stalled (all instances crashed) and needed the
+    /// recovery step — disarm the plan, spawn fresh instances, resume
+    /// from persisted continuations — to finish.
+    pub recovered: bool,
+}
+
+/// Deploy `source` on a fresh 2-node cluster, run
+/// `function(args)` under the given chaos plan, and enforce the
+/// survivability contract: the task either completes under chaos, or —
+/// after every instance has crashed — completes once fresh instances
+/// are spawned, resuming from its persisted continuations. Either way
+/// the value must be exactly what a fault-free run produces.
+///
+/// Returns `Err` (with diagnostics, not a panic) when the contract is
+/// violated, so sweeps can attach the failing seed's repro command.
+pub fn run_workflow_under_chaos(
+    source: &str,
+    function: &str,
+    args: Vec<Value>,
+    config: ChaosConfig,
+) -> Result<ChaosRun, String> {
+    const SERVICE: &str = "workflow";
+    let seed = config.seed;
+    let cluster = Cluster::new();
+    let plan = ChaosPlan::new(config);
+    cluster.set_chaos(plan.clone());
+    let workflow = WorkflowService::deploy(
+        &cluster,
+        SERVICE,
+        source,
+        Arc::new(MemStore::new()),
+        Arc::new(InProcessLocks::new()),
+        VinzConfig::default(),
+    )
+    .map_err(|e| format!("seed {seed}: deploy failed: {e}"))?;
+    for node in 0..2 {
+        workflow.spawn_instances(node, 2);
+    }
+    let task = workflow
+        .start(function, args, None)
+        .map_err(|e| format!("seed {seed}: start failed: {e}"))?;
+
+    // Phase 1: run under chaos until the task finishes or the cluster
+    // is extinguished (every instance crashed).
+    let phase1 = Instant::now();
+    let mut record = None;
+    while phase1.elapsed() < Duration::from_secs(20) {
+        if let Some(rec) = workflow.wait(&task, Duration::from_millis(50)) {
+            record = Some(rec);
+            break;
+        }
+        if cluster.live_instances(SERVICE) == 0 {
+            break;
+        }
+    }
+
+    // Phase 2 (only if stalled): the survivability claim — state lives
+    // in the store, not in instances — means fresh instances must be
+    // able to finish the job. Disarm so recovery itself runs clean.
+    let mut recovered = false;
+    if record.is_none() {
+        recovered = true;
+        plan.disarm();
+        workflow.spawn_instances(90, 2);
+        record = workflow.wait(&task, Duration::from_secs(30));
+    }
+
+    let stats = plan.snapshot();
+    cluster.shutdown();
+    let record = record.ok_or_else(|| {
+        format!(
+            "seed {seed}: task neither completed nor became resumable \
+             (recovered={recovered}, faults={stats:?})"
+        )
+    })?;
+    match record.status {
+        TaskStatus::Completed(value) => Ok(ChaosRun {
+            seed,
+            value,
+            stats,
+            recovered,
+        }),
+        other => Err(format!(
+            "seed {seed}: task ended {other:?} instead of completing \
+             (recovered={recovered}, faults={stats:?})"
+        )),
     }
 }
 

@@ -5,7 +5,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use gozer::{CrashPoint, GozerSystem, TaskStatus, Value, VinzConfig};
+use gozer::testing::{chaos_seeds, repro_command, run_workflow_under_chaos};
+use gozer::{ChaosConfig, ChaosPlan, CrashPoint, GozerSystem, TaskStatus, Value, VinzConfig};
 use vinz::{FileLocks, FileStore};
 
 const TIMEOUT: Duration = Duration::from_secs(120);
@@ -124,6 +125,54 @@ fn zookeeper_locks_full_run() {
         .unwrap();
     let v = sys.call("main", vec![Value::Int(10)], TIMEOUT).unwrap();
     assert_eq!(v, expected(10));
+    sys.shutdown();
+}
+
+#[test]
+fn seeded_chaos_sweep_from_facade() {
+    // The hand-scripted kills above cover specific failure modes; this
+    // sweep covers *randomized* ones, deterministically: each seed fixes
+    // a full fault schedule (drops, delays, duplicates, reordering,
+    // instance and node crashes), and every seed must still produce the
+    // exact fault-free answer. `CHAOS_SEED=<n>` replays one schedule.
+    let mut failures = Vec::new();
+    for seed in chaos_seeds(8) {
+        match run_workflow_under_chaos(
+            WORKFLOW,
+            "main",
+            vec![Value::Int(12)],
+            ChaosConfig::survivability(seed),
+        ) {
+            Ok(run) => assert_eq!(run.value, expected(12), "seed {seed}"),
+            Err(e) => failures.push(format!(
+                "{e}\n    replay: {}",
+                repro_command("--test survivability", "seeded_chaos_sweep_from_facade", seed)
+            )),
+        }
+    }
+    assert!(failures.is_empty(), "failed seeds:\n  {}", failures.join("\n  "));
+}
+
+#[test]
+fn chaos_plan_attaches_to_a_built_system() {
+    // Chaos is a cluster property, so it composes with the full builder
+    // surface (stores, locks, policies) — not just the test harness.
+    let sys = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .workflow(WORKFLOW)
+        .build()
+        .unwrap();
+    let plan = ChaosPlan::new(ChaosConfig::turbulence(chaos_seeds(1)[0]));
+    sys.cluster.set_chaos(plan.clone());
+    let v = sys.call("main", vec![Value::Int(10)], TIMEOUT).unwrap();
+    assert_eq!(v, expected(10));
+    // Detach and verify the plan stops influencing delivery.
+    sys.cluster.clear_chaos();
+    let before = plan.snapshot().total();
+    let v = sys.call("main", vec![Value::Int(6)], TIMEOUT).unwrap();
+    assert_eq!(v, expected(6));
+    assert_eq!(plan.snapshot().total(), before, "detached plan kept firing");
     sys.shutdown();
 }
 
