@@ -4,7 +4,7 @@
 CARGO ?= cargo
 CHAOS_SEEDS ?= 16
 
-.PHONY: build test test-all test-chaos bench ci
+.PHONY: build test test-all test-chaos obs-check bench ci
 
 build:
 	$(CARGO) build --release
@@ -22,6 +22,11 @@ test-all:
 test-chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) test -p vinz --test chaos -- --nocapture
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) test --test survivability
+
+# Observability gate: run an example workflow, scrape the text
+# exporter, and assert the required metric families are non-zero.
+obs-check:
+	sh scripts/obs_check.sh
 
 bench:
 	$(CARGO) bench --workspace

@@ -58,7 +58,8 @@ fn bench_spawn_limit(c: &mut Criterion) {
             .unwrap();
         assert_eq!(v.as_list().unwrap().len(), children as usize);
         let wall = t0.elapsed().as_secs_f64() * 1000.0;
-        let m = sys.workflow.metrics();
+        let obs = sys.workflow.obs();
+        let m = obs.counters();
         series.point(
             limit,
             &[

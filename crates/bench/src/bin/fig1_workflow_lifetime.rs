@@ -30,7 +30,8 @@ fn main() {
         .workflow(WORKFLOW)
         .build()
         .expect("deploy");
-    sys.workflow.set_tracing(true);
+    let obs = sys.workflow.obs();
+    obs.set_tracing(true);
 
     let v = sys
         .call("main", vec![Value::Int(3)], Duration::from_secs(60))
@@ -38,9 +39,9 @@ fn main() {
     assert_eq!(v, Value::Int(27)); // 9*1 + 9*2
 
     println!("Figure 1 — sample workflow lifetime (result {v:?}):\n");
-    print!("{}", sys.workflow.trace().render());
+    print!("{}", obs.render());
 
-    let events = sys.workflow.trace().events();
+    let events = obs.trace_view().events();
     let count = |f: &dyn Fn(&TraceKind) -> bool| events.iter().filter(|e| f(&e.kind)).count();
     println!("\nsummary:");
     println!("  RunFiber deliveries : {}", count(&|k| matches!(k, TraceKind::RunFiber)));

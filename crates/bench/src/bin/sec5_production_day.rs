@@ -70,6 +70,11 @@ fn main() {
         .build()
         .unwrap();
 
+    // Baseline metrics snapshot: the slice's latency report below comes
+    // from diffing against this, so it covers exactly the scaled run.
+    let obs = sys.workflow.obs();
+    let before = obs.snapshot();
+
     let t0 = Instant::now();
     let tasks: Vec<String> = specs
         .iter()
@@ -98,14 +103,22 @@ fn main() {
     let wall = t0.elapsed();
     let serial: Duration = specs.iter().map(|s| s.duration).sum();
 
-    let fibers_created: u64 = sys
-        .workflow
+    let delta = obs.snapshot().diff(&before);
+    let mean_of = |key: &str| {
+        delta
+            .histogram(key)
+            .and_then(|h| h.mean())
+            .map(|d| format!("{d:.2?}"))
+            .unwrap_or_else(|| "n/a".into())
+    };
+
+    let fibers_created: u64 = obs
         .tracker()
         .all()
         .iter()
         .map(|r| r.fibers_created)
         .sum();
-    let m = sys.workflow.metrics();
+    let m = obs.counters();
     let mut t = Table::new("sec5 — scaled slice executed on the cluster", &["metric", "value"]);
     t.row(&["tasks run".into(), format!("{completed}/{}", specs.len())]);
     t.row(&["fibers (spec)".into(), slice_stats.fibers.to_string()]);
@@ -127,6 +140,14 @@ fn main() {
         m.persist_bytes
             .load(std::sync::atomic::Ordering::Relaxed)
             .to_string(),
+    ]);
+    t.row(&[
+        "mean queue wait".into(),
+        mean_of("bluebox_queue_wait_seconds"),
+    ]);
+    t.row(&[
+        "mean handler busy".into(),
+        mean_of("bluebox_handler_busy_seconds"),
     ]);
     t.print();
     assert_eq!(completed, specs.len(), "every task must complete");

@@ -7,6 +7,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
+use gozer_obs::{Event, EventKind, Histogram, Obs};
 use gozer_xml::ServiceDescription;
 use parking_lot::{Mutex, RwLock};
 
@@ -104,7 +105,11 @@ pub struct Cluster {
     policy: Policy,
     chaos: RwLock<Option<Arc<ChaosPlan>>>,
     /// Broker metrics.
-    pub metrics: Metrics,
+    pub metrics: Arc<Metrics>,
+    obs: Arc<Obs>,
+    hist_wait: Arc<Histogram>,
+    hist_busy: Arc<Histogram>,
+    hist_sync: Arc<Histogram>,
 }
 
 impl Cluster {
@@ -115,6 +120,25 @@ impl Cluster {
 
     /// New cluster with the given queue scheduling policy.
     pub fn with_policy(policy: Policy) -> Arc<Cluster> {
+        let obs = Arc::new(Obs::new());
+        let metrics = Arc::new(Metrics::default());
+        register_broker_metrics(&obs, &metrics);
+        let reg = &obs.registry;
+        let hist_wait = reg.histogram(
+            "bluebox_queue_wait_seconds",
+            "Message queue wait, enqueue to delivery.",
+            "",
+        );
+        let hist_busy = reg.histogram(
+            "bluebox_handler_busy_seconds",
+            "Time spent inside handlers.",
+            "",
+        );
+        let hist_sync = reg.histogram(
+            "bluebox_sync_block_seconds",
+            "Caller block time of synchronous nested calls.",
+            "",
+        );
         Arc::new(Cluster {
             queues: RwLock::new(HashMap::new()),
             services: RwLock::new(HashMap::new()),
@@ -125,8 +149,18 @@ impl Cluster {
             next_instance: AtomicU64::new(1),
             policy,
             chaos: RwLock::new(None),
-            metrics: Metrics::default(),
+            metrics,
+            obs,
+            hist_wait,
+            hist_busy,
+            hist_sync,
         })
+    }
+
+    /// The cluster's observability handle: the shared event bus and
+    /// metrics registry every layer (broker, Vinz, VM hooks) emits into.
+    pub fn obs(&self) -> Arc<Obs> {
+        self.obs.clone()
     }
 
     /// Install a chaos plan: from now on every send, delivery, and
@@ -224,19 +258,39 @@ impl Cluster {
         msg.id = self.next_msg_id.fetch_add(1, Ordering::Relaxed);
         msg.enqueued_at = Instant::now();
         self.metrics.add(&self.metrics.sent, 1);
+        self.obs.bus.emit(msg_event(
+            EventKind::MessageSent {
+                service: msg.service.clone(),
+                operation: msg.operation.clone(),
+            },
+            &msg,
+        ));
         let queue = self.queue(&msg.service);
         if let Some(plan) = self.chaos_plan() {
             if plan.on_send_duplicate(&msg) {
+                self.emit_fault(&msg, "duplicate");
                 let mut dup = msg.clone();
                 dup.id = self.next_msg_id.fetch_add(1, Ordering::Relaxed);
                 queue.push(dup);
             }
             if let Some(slots) = plan.on_send_reorder(&msg) {
+                self.emit_fault(&msg, "reorder");
                 queue.push_displaced(msg, slots);
                 return;
             }
         }
         queue.push(msg);
+    }
+
+    /// Emit a [`EventKind::FaultInjected`] event correlated to `msg`.
+    fn emit_fault(&self, msg: &Message, fault: &str) {
+        self.obs.bus.emit(msg_event(
+            EventKind::FaultInjected {
+                fault: fault.to_string(),
+                operation: msg.operation.clone(),
+            },
+            msg,
+        ));
     }
 
     /// Send a request whose reply is delivered as a fresh request to
@@ -287,10 +341,10 @@ impl Cluster {
         self.send(msg);
         let started = Instant::now();
         let result = rx.recv_timeout(timeout);
-        self.metrics.add(
-            &self.metrics.sync_block_nanos,
-            started.elapsed().as_nanos() as u64,
-        );
+        let blocked = started.elapsed().as_nanos() as u64;
+        self.metrics.add(&self.metrics.sync_block_nanos, blocked);
+        self.metrics.add(&self.metrics.sync_block_count, 1);
+        self.hist_sync.observe_nanos(blocked);
         match result {
             Ok(Ok(body)) => Ok(body),
             Ok(Err(fault)) => Err(CallError::Fault(fault)),
@@ -301,8 +355,8 @@ impl Cluster {
         }
     }
 
-    fn route_reply(&self, reply_to: &ReplyTo, result: Result<Vec<u8>, Fault>) {
-        match reply_to {
+    fn route_reply(&self, request: &Message, result: Result<Vec<u8>, Fault>) {
+        match &request.reply_to {
             ReplyTo::Nowhere => {
                 if result.is_err() {
                     self.metrics.add(&self.metrics.faults, 1);
@@ -317,6 +371,7 @@ impl Cluster {
                 // as a vanished reply would in production.
                 if let Some(plan) = self.chaos_plan() {
                     if plan.on_caller_reply(*correlation) {
+                        self.emit_fault(request, "reply-loss");
                         return;
                     }
                 }
@@ -331,6 +386,14 @@ impl Cluster {
             } => {
                 let mut reply = Message::new(service, operation, Vec::new())
                     .header("correlation", correlation.to_string());
+                // Propagate the workflow correlation ids so the reply —
+                // and any fault the chaos layer injects into it — still
+                // attaches to the fiber that made the call.
+                for key in ["task-id", "fiber-id"] {
+                    if let Some(v) = request.get_header(key) {
+                        reply = reply.header(key, v.to_string());
+                    }
+                }
                 match result {
                     Ok(body) => reply.body = body,
                     Err(fault) => {
@@ -439,10 +502,22 @@ fn instance_loop(
         // The message is leased from here: every exit path below must
         // settle exactly once.
         let metrics = &cluster.metrics;
+        let wait = msg.enqueued_at.elapsed().as_nanos() as u64;
         metrics.add(&metrics.delivered, 1);
-        metrics.add(
-            &metrics.wait_nanos,
-            msg.enqueued_at.elapsed().as_nanos() as u64,
+        metrics.add(&metrics.wait_nanos, wait);
+        metrics.add(&metrics.wait_count, 1);
+        cluster.hist_wait.observe_nanos(wait);
+        cluster.obs.bus.emit(
+            msg_event(
+                EventKind::MessageDelivered {
+                    service: msg.service.clone(),
+                    operation: msg.operation.clone(),
+                    wait_nanos: wait,
+                },
+                &msg,
+            )
+            .node(ctx.node_id)
+            .instance(ctx.instance_id),
         );
         // Seeded chaos: the plan decides this delivery's fate from the
         // message's stable key alone.
@@ -450,17 +525,36 @@ fn instance_loop(
         if let Some(plan) = &chaos {
             match plan.on_deliver(&msg) {
                 FaultAction::Deliver => {}
-                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::Delay(d) => {
+                    cluster.emit_fault(&msg, "delay");
+                    std::thread::sleep(d);
+                }
                 FaultAction::DropRedeliver => {
                     // The handoff is lost in transit: re-queue, stay
                     // alive (at-least-once redelivery, not a crash).
+                    cluster.emit_fault(&msg, "drop");
                     metrics.add(&metrics.redelivered, 1);
+                    cluster.obs.bus.emit(msg_event(
+                        EventKind::MessageRedelivered {
+                            service: msg.service.clone(),
+                            operation: msg.operation.clone(),
+                        },
+                        &msg,
+                    ));
                     queue.push_front(msg);
                     queue.settle();
                     continue;
                 }
                 FaultAction::Crash(point) => {
                     let node_wide = plan.on_node_scope(&msg);
+                    cluster.emit_fault(
+                        &msg,
+                        match (point, node_wide) {
+                            (_, true) => "node-kill",
+                            (FaultPoint::BeforeProcess, _) => "crash-before",
+                            (FaultPoint::AfterProcess, _) => "crash-after",
+                        },
+                    );
                     crash_with(&cluster, &queue, &control, msg, point, &ctx, node_wide);
                     break;
                 }
@@ -470,6 +564,11 @@ fn instance_loop(
         // untouched.
         if *control.fault.lock() == Some(FaultPoint::BeforeProcess) {
             metrics.add(&metrics.redelivered, 1);
+            cluster.obs.bus.emit(
+                msg_event(EventKind::InstanceCrashed { point: "before-process".into() }, &msg)
+                    .node(ctx.node_id)
+                    .instance(ctx.instance_id),
+            );
             queue.push_front(msg);
             queue.settle();
             control.alive.store(false, Ordering::Relaxed);
@@ -479,7 +578,10 @@ fn instance_loop(
         metrics.enter_flight();
         let started = Instant::now();
         let result = handler.handle(&ctx, &msg);
-        metrics.add(&metrics.busy_nanos, started.elapsed().as_nanos() as u64);
+        let busy = started.elapsed().as_nanos() as u64;
+        metrics.add(&metrics.busy_nanos, busy);
+        metrics.add(&metrics.busy_count, 1);
+        cluster.hist_busy.observe_nanos(busy);
         metrics.exit_flight();
         control.busy.store(false, Ordering::Relaxed);
         // Crash after processing but before the ack/reply (manual kill
@@ -489,6 +591,9 @@ fn instance_loop(
         let manual_after = *control.fault.lock() == Some(FaultPoint::AfterProcess);
         let chaos_after = chaos.as_ref().is_some_and(|p| p.on_after_process(&msg));
         if manual_after || chaos_after {
+            if chaos_after {
+                cluster.emit_fault(&msg, "crash-after");
+            }
             let node_wide = chaos_after
                 && chaos.as_ref().is_some_and(|p| p.on_node_scope(&msg));
             crash_with(
@@ -502,7 +607,7 @@ fn instance_loop(
             );
             break;
         }
-        cluster.route_reply(&msg.reply_to, result);
+        cluster.route_reply(&msg, result);
         metrics.add(&metrics.completed, 1);
         queue.settle();
     }
@@ -520,10 +625,88 @@ fn crash_with(
     node_wide: bool,
 ) {
     cluster.metrics.add(&cluster.metrics.redelivered, 1);
+    cluster.obs.bus.emit(
+        msg_event(
+            EventKind::InstanceCrashed {
+                point: match (point, node_wide) {
+                    (_, true) => "node-kill".into(),
+                    (FaultPoint::BeforeProcess, _) => "before-process".into(),
+                    (FaultPoint::AfterProcess, _) => "after-process".into(),
+                },
+            },
+            &msg,
+        )
+        .node(ctx.node_id)
+        .instance(ctx.instance_id),
+    );
     queue.push_front(msg);
     queue.settle();
     control.alive.store(false, Ordering::Relaxed);
     if node_wide {
         cluster.kill_node(ctx.node_id, point);
     }
+}
+
+/// Build an [`Event`] correlated to a message: its broker id plus the
+/// workflow ids Vinz stamps into `task-id`/`fiber-id` headers (the
+/// fiber id alone implies the task via the `task/fiber` convention).
+fn msg_event(kind: EventKind, msg: &Message) -> Event {
+    Event::new(kind)
+        .message(msg.id)
+        .task_opt(msg.get_header("task-id").map(str::to_string))
+        .fiber_opt(msg.get_header("fiber-id").map(str::to_string))
+}
+
+/// Mirror the [`Metrics`] atomics into the registry as closure-backed
+/// samples: one source of truth, two read paths.
+fn register_broker_metrics(obs: &Arc<Obs>, metrics: &Arc<Metrics>) {
+    let reg = &obs.registry;
+    let mirror = |m: &Arc<Metrics>, f: fn(&Metrics) -> &AtomicU64| {
+        let m = m.clone();
+        move || f(&m).load(Ordering::Relaxed)
+    };
+    reg.counter_fn(
+        "bluebox_messages_sent_total",
+        "Messages accepted by the broker.",
+        "",
+        mirror(metrics, |m| &m.sent),
+    );
+    reg.counter_fn(
+        "bluebox_messages_delivered_total",
+        "Messages handed to an instance.",
+        "",
+        mirror(metrics, |m| &m.delivered),
+    );
+    reg.counter_fn(
+        "bluebox_messages_redelivered_total",
+        "Messages re-queued after a failed delivery.",
+        "",
+        mirror(metrics, |m| &m.redelivered),
+    );
+    reg.counter_fn(
+        "bluebox_handler_completions_total",
+        "Handler invocations that completed.",
+        "",
+        mirror(metrics, |m| &m.completed),
+    );
+    reg.counter_fn(
+        "bluebox_handler_faults_total",
+        "Handler invocations that returned a fault.",
+        "",
+        mirror(metrics, |m| &m.faults),
+    );
+    let m = metrics.clone();
+    reg.gauge_fn(
+        "bluebox_messages_in_flight",
+        "Messages currently being processed.",
+        "",
+        move || m.in_flight.load(Ordering::Relaxed) as i64,
+    );
+    let m = metrics.clone();
+    reg.gauge_fn(
+        "bluebox_messages_in_flight_peak",
+        "High-water mark of in-flight messages.",
+        "",
+        move || m.max_in_flight.load(Ordering::Relaxed) as i64,
+    );
 }

@@ -8,10 +8,22 @@
 //!
 //! Multi-line input is supported (the reader keeps accepting lines until
 //! parentheses balance). `:quit` exits, `:log` dumps captured output.
+//!
+//! ## The `timeline` subcommand
+//!
+//! ```bash
+//! cargo run -p gozer --bin gozer-repl -- timeline workflow.gz main 5
+//! ```
+//!
+//! Deploys the workflow source on a simulated 2-node cluster, runs
+//! `main` with the given (integer or string) arguments, and prints the
+//! Figure-1-style per-task timeline — every fiber as a span annotated
+//! with the node/instance it executed on — followed by the metrics in
+//! Prometheus text format.
 
 use std::io::{BufRead, Write};
 
-use gozer::Gvm;
+use gozer::{GozerSystem, Gvm, Value};
 
 fn paren_balance(src: &str) -> i32 {
     let mut depth = 0;
@@ -47,7 +59,53 @@ fn paren_balance(src: &str) -> i32 {
     depth
 }
 
+/// `timeline <file> <function> [args...]`: run a workflow and print the
+/// per-task observability report.
+fn run_timeline(args: &[String]) -> Result<(), String> {
+    let (path, rest) = args
+        .split_first()
+        .ok_or("usage: gozer-repl timeline <file> <function> [args...]")?;
+    let (function, rest) = rest
+        .split_first()
+        .ok_or("usage: gozer-repl timeline <file> <function> [args...]")?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let sys = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .workflow(&source)
+        .build()
+        .map_err(|e| format!("deploy failed: {e}"))?;
+    let obs = sys.workflow.obs();
+    obs.set_tracing(true);
+    let call_args: Vec<Value> = rest
+        .iter()
+        .map(|a| {
+            a.parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or_else(|_| Value::str(a))
+        })
+        .collect();
+    let v = sys
+        .call(function, call_args, std::time::Duration::from_secs(300))
+        .map_err(|e| format!("workflow failed: {e}"))?;
+    println!("result: {v:?}\n");
+    print!("{}", obs.render());
+    println!("\n# metrics");
+    print!("{}", obs.export_text());
+    sys.shutdown();
+    Ok(())
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("timeline") {
+        if let Err(e) = run_timeline(&args[1..]) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let gvm = Gvm::new();
     gvm.log_to_stdout
         .store(true, std::sync::atomic::Ordering::Relaxed);

@@ -61,9 +61,13 @@ pub use gozer_lang::{Reader, Symbol, Value};
 pub use gozer_serial::{deserialize_state, deserialize_value, serialize_state, serialize_value};
 pub use gozer_vm::{Condition, FiberState, Gvm, RunOutcome, Suspension, VmError};
 pub use gozer_xml::{Element, QName, ServiceDescription};
+pub use gozer_obs::{
+    Event, EventBus, EventKind, MetricsRegistry, Obs, Snapshot, TaskTimeline, TimelineSet,
+};
 pub use vinz::{
     FileLocks, FileStore, InProcessLocks, LockManager, MemStore, StateStore, TaskRecord,
-    TaskStatus, Trace, TraceEvent, TraceKind, VinzConfig, VinzError, WorkflowService, ZkLocks,
+    TaskStatus, Trace, TraceEvent, TraceKind, VinzConfig, VinzError, WorkflowObs,
+    WorkflowService, WorkflowServiceBuilder, ZkLocks,
 };
 pub use zk_lite::ZkServer;
 
@@ -204,17 +208,15 @@ impl GozerSystemBuilder {
         let locks = self
             .locks
             .unwrap_or_else(|| Arc::new(InProcessLocks::new()));
-        let workflow = WorkflowService::deploy(
-            &cluster,
-            &self.service_name,
-            &self.source,
-            store,
-            locks,
-            self.config,
-        )?;
+        let mut builder = WorkflowService::builder(&cluster, &self.service_name)
+            .source(&self.source)
+            .store(store)
+            .locks(locks)
+            .config(self.config);
         for node in 0..self.nodes {
-            workflow.spawn_instances(node, self.instances_per_node);
+            builder = builder.instances(node, self.instances_per_node);
         }
+        let workflow = builder.deploy()?;
         Ok(GozerSystem { cluster, workflow })
     }
 }

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # gozer-obs
+//!
+//! The unified observability layer of the Gozer reproduction: one
+//! structured event stream and one metrics registry shared by every
+//! layer of the system, replacing the formerly disjoint
+//! `vinz::trace::Trace` / `bluebox::metrics::Metrics` instrumentation.
+//!
+//! Three pieces:
+//!
+//! * [`EventBus`] — a lock-cheap, per-node-sharded ring buffer of
+//!   structured [`Event`]s. Both the broker (BlueBox) and the workflow
+//!   layer (Vinz) emit into the same bus, with correlated ids
+//!   (`task_id` / `fiber_id` / `message_id` / `node_id`), so a broker
+//!   fault and the fiber it displaced appear in one causal stream.
+//! * [`span`] — reconstructs a task's lifetime as a span *tree*
+//!   (Start → RunFiber → Yield/Persist → migrate → Resume → TaskDone,
+//!   with forked children as child spans and injected chaos faults
+//!   attached where they struck), and renders the Figure-1-style
+//!   per-task timeline.
+//! * [`MetricsRegistry`] — counters, gauges and fixed-log-bucket
+//!   [`Histogram`]s with a Prometheus-style text exporter
+//!   ([`MetricsRegistry::render_text`]) and a point-in-time
+//!   [`Snapshot`] diff API consumed by `gozer-bench`.
+//!
+//! The [`Obs`] struct bundles one bus and one registry; a cluster owns
+//! exactly one and hands it to every subsystem.
+
+pub mod bus;
+pub mod event;
+pub mod metrics;
+pub mod span;
+
+pub use bus::EventBus;
+pub use event::{Event, EventKind};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, SampleSnapshot, Snapshot,
+};
+pub use span::{FiberSpan, TaskTimeline, TimelineSet};
+
+/// One bus + one registry: the observability handle a cluster owns and
+/// every layer (broker, workflow service, VM hooks) emits into.
+#[derive(Default)]
+pub struct Obs {
+    /// The structured event stream (disabled by default; enabling it is
+    /// what "tracing" means post-unification).
+    pub bus: EventBus,
+    /// The metrics registry (always on; counters are cheap).
+    pub registry: MetricsRegistry,
+}
+
+impl Obs {
+    /// Fresh bus + registry.
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+}

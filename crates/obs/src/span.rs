@@ -1,0 +1,404 @@
+//! Span-tree reconstruction: turn the flat event stream back into
+//! per-task timelines with fiber parent links, and render the
+//! Figure-1-style per-task report.
+//!
+//! A task's main fiber (`task-N/f0`) roots the tree; every
+//! [`EventKind::FiberForked`] event links the named child fiber to the
+//! forking fiber. Broker events (faults, crashes, redeliveries) attach
+//! to the task/fiber their correlation headers name; events that name a
+//! fiber never seen by the workflow layer, or a task with no
+//! `TaskStarted`, land in [`TimelineSet::orphans`] — the chaos sweep
+//! test asserts that set stays empty.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::event::{Event, EventKind};
+
+/// One fiber's span: its events plus tree links.
+#[derive(Debug, Clone)]
+pub struct FiberSpan {
+    /// Fiber id (`task-N/fM`).
+    pub fiber: String,
+    /// Forking parent's fiber id; `None` for the main fiber.
+    pub parent: Option<String>,
+    /// Child fiber ids, in fork order.
+    pub children: Vec<String>,
+    /// This fiber's events, in sequence order.
+    pub events: Vec<Event>,
+}
+
+impl FiberSpan {
+    /// Whether this span recorded any injected fault.
+    pub fn has_fault(&self) -> bool {
+        self.events.iter().any(|e| e.kind.is_fault())
+    }
+}
+
+/// One task's reconstructed lifetime.
+#[derive(Debug, Clone)]
+pub struct TaskTimeline {
+    /// Task id.
+    pub task: String,
+    /// All spans of this task, main fiber first, then by first
+    /// appearance.
+    pub spans: Vec<FiberSpan>,
+    /// Task-scoped events that name no fiber (e.g. `TaskStarted`,
+    /// `TaskDone`, task-correlated broker faults).
+    pub events: Vec<Event>,
+}
+
+impl TaskTimeline {
+    /// Find a span by fiber id.
+    pub fn span(&self, fiber: &str) -> Option<&FiberSpan> {
+        self.spans.iter().find(|s| s.fiber == fiber)
+    }
+
+    /// All fault events anywhere in this task's timeline.
+    pub fn faults(&self) -> Vec<&Event> {
+        self.events
+            .iter()
+            .chain(self.spans.iter().flat_map(|s| s.events.iter()))
+            .filter(|e| e.kind.is_fault())
+            .collect()
+    }
+
+    /// First event timestamp, used as the timeline origin.
+    fn origin(&self) -> Option<Instant> {
+        self.events
+            .iter()
+            .chain(self.spans.iter().flat_map(|s| s.events.iter()))
+            .map(|e| e.at)
+            .min()
+    }
+
+    /// Render this task's Figure-1-style report: task-level events and
+    /// the fiber tree, children indented under their forking parent,
+    /// each line offset in milliseconds from the task's first event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let origin = match self.origin() {
+            Some(o) => o,
+            None => return out,
+        };
+        out.push_str(&format!("task {}\n", self.task));
+        for e in &self.events {
+            out.push_str(&format!("  {}\n", describe(e, origin)));
+        }
+        // Walk the fiber tree from the roots (spans with no parent or a
+        // parent outside this task).
+        let known: BTreeMap<&str, &FiberSpan> =
+            self.spans.iter().map(|s| (s.fiber.as_str(), s)).collect();
+        for span in &self.spans {
+            let is_root = span
+                .parent
+                .as_deref()
+                .map_or(true, |p| !known.contains_key(p));
+            if is_root {
+                render_span(span, &known, 1, origin, &mut out);
+            }
+        }
+        out
+    }
+}
+
+fn render_span(
+    span: &FiberSpan,
+    known: &BTreeMap<&str, &FiberSpan>,
+    depth: usize,
+    origin: Instant,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&format!("{pad}fiber {}\n", span.fiber));
+    for e in &span.events {
+        out.push_str(&format!("{pad}  {}\n", describe(e, origin)));
+    }
+    for child in &span.children {
+        if let Some(c) = known.get(child.as_str()) {
+            render_span(c, known, depth + 1, origin, out);
+        }
+    }
+}
+
+/// One rendered line: `+offset_ms label [details] [ids]`.
+fn describe(e: &Event, origin: Instant) -> String {
+    let ms = e.at.saturating_duration_since(origin).as_secs_f64() * 1e3;
+    let mut line = format!("+{ms:8.3}ms {:<12}", e.kind.label());
+    match &e.kind {
+        EventKind::MessageSent { service, operation }
+        | EventKind::MessageRedelivered { service, operation } => {
+            line.push_str(&format!(" {service}:{operation}"));
+        }
+        EventKind::MessageDelivered {
+            service,
+            operation,
+            wait_nanos,
+        } => {
+            line.push_str(&format!(
+                " {service}:{operation} wait={:.3}ms",
+                *wait_nanos as f64 / 1e6
+            ));
+        }
+        EventKind::FaultInjected { fault, operation } => {
+            line.push_str(&format!(" {fault} on {operation}"));
+        }
+        EventKind::InstanceCrashed { point } => line.push_str(&format!(" at {point}")),
+        EventKind::FiberYield { reason } => line.push_str(&format!(" ({reason})")),
+        EventKind::FiberPersisted { bytes } => line.push_str(&format!(" {bytes}B")),
+        EventKind::FiberLoaded { cache_hit } => {
+            line.push_str(if *cache_hit { " cache-hit" } else { " store" })
+        }
+        EventKind::FiberResumed { via } => line.push_str(&format!(" via {via}")),
+        EventKind::FiberForked { child } => line.push_str(&format!(" -> {child}")),
+        EventKind::AwakeSent { parent } => line.push_str(&format!(" -> {parent}")),
+        EventKind::ServiceCallDispatched { target } => line.push_str(&format!(" -> {target}")),
+        EventKind::TaskDone { outcome } => line.push_str(&format!(" {outcome}")),
+        EventKind::VmSuspend { frames } => line.push_str(&format!(" {frames} frames")),
+        _ => {}
+    }
+    if let Some(node) = e.node {
+        line.push_str(&format!(" [node {node}]"));
+    }
+    if let Some(id) = e.message_id {
+        line.push_str(&format!(" [msg {id}]"));
+    }
+    line
+}
+
+/// All tasks reconstructed from one event snapshot, plus the events
+/// that could not be attached to any task.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineSet {
+    /// Per-task timelines, ordered by first appearance in the stream.
+    pub tasks: Vec<TaskTimeline>,
+    /// Task- or fiber-correlated events whose task never appeared in
+    /// the workflow lifecycle (should be empty in a healthy run), plus
+    /// events with no correlation at all.
+    pub orphans: Vec<Event>,
+}
+
+impl TimelineSet {
+    /// Build timelines from a bus snapshot (events already in seq
+    /// order, as [`crate::EventBus::snapshot`] returns them).
+    pub fn build(events: &[Event]) -> TimelineSet {
+        struct TaskAcc {
+            task: String,
+            // fiber id → span index
+            fibers: BTreeMap<String, usize>,
+            spans: Vec<FiberSpan>,
+            events: Vec<Event>,
+            lifecycle_seen: bool,
+        }
+        let mut order: Vec<String> = Vec::new();
+        let mut tasks: BTreeMap<String, TaskAcc> = BTreeMap::new();
+        let mut unattached: Vec<Event> = Vec::new();
+
+        let lifecycle = |kind: &EventKind| {
+            !matches!(
+                kind,
+                EventKind::MessageSent { .. }
+                    | EventKind::MessageDelivered { .. }
+                    | EventKind::MessageRedelivered { .. }
+                    | EventKind::FaultInjected { .. }
+                    | EventKind::InstanceCrashed { .. }
+            )
+        };
+
+        for e in events {
+            let task_id = match &e.task {
+                Some(t) => t.clone(),
+                None => {
+                    unattached.push(e.clone());
+                    continue;
+                }
+            };
+            let acc = tasks.entry(task_id.clone()).or_insert_with(|| {
+                order.push(task_id.clone());
+                TaskAcc {
+                    task: task_id.clone(),
+                    fibers: BTreeMap::new(),
+                    spans: Vec::new(),
+                    events: Vec::new(),
+                    lifecycle_seen: false,
+                }
+            });
+            if lifecycle(&e.kind) {
+                acc.lifecycle_seen = true;
+            }
+            match &e.fiber {
+                Some(fiber) => {
+                    let idx = *acc.fibers.entry(fiber.clone()).or_insert_with(|| {
+                        acc.spans.push(FiberSpan {
+                            fiber: fiber.clone(),
+                            parent: None,
+                            children: Vec::new(),
+                            events: Vec::new(),
+                        });
+                        acc.spans.len() - 1
+                    });
+                    acc.spans[idx].events.push(e.clone());
+                    if let EventKind::FiberForked { child } = &e.kind {
+                        let parent_fiber = fiber.clone();
+                        acc.spans[idx].children.push(child.clone());
+                        let child_idx =
+                            *acc.fibers.entry(child.clone()).or_insert_with(|| {
+                                acc.spans.push(FiberSpan {
+                                    fiber: child.clone(),
+                                    parent: None,
+                                    children: Vec::new(),
+                                    events: Vec::new(),
+                                });
+                                acc.spans.len() - 1
+                            });
+                        acc.spans[child_idx].parent = Some(parent_fiber);
+                    }
+                }
+                None => acc.events.push(e.clone()),
+            }
+        }
+
+        let mut set = TimelineSet::default();
+        for task_id in order {
+            let acc = tasks.remove(&task_id).expect("accumulated task");
+            if acc.lifecycle_seen {
+                set.tasks.push(TaskTimeline {
+                    task: acc.task,
+                    spans: acc.spans,
+                    events: acc.events,
+                });
+            } else {
+                // Broker events naming a task the workflow layer never
+                // reported: orphans (a correlation bug).
+                set.orphans
+                    .extend(acc.events.into_iter().chain(
+                        acc.spans.into_iter().flat_map(|s| s.events),
+                    ));
+            }
+        }
+        set.orphans.extend(unattached);
+        set.orphans.sort_by_key(|e| e.seq);
+        set
+    }
+
+    /// Timeline for one task, if present.
+    pub fn task(&self, task: &str) -> Option<&TaskTimeline> {
+        self.tasks.iter().find(|t| t.task == task)
+    }
+
+    /// Orphaned events that carry a task or fiber correlation — the
+    /// ones that *should* have attached somewhere. Ambient broker
+    /// traffic with no ids (e.g. admin messages) is excluded.
+    pub fn correlated_orphans(&self) -> Vec<&Event> {
+        self.orphans
+            .iter()
+            .filter(|e| e.task.is_some() || e.fiber.is_some())
+            .collect()
+    }
+
+    /// Render every task's report, separated by blank lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::EventBus;
+
+    fn emitted(bus: &EventBus) -> Vec<Event> {
+        bus.snapshot()
+    }
+
+    #[test]
+    fn fork_builds_parent_links() {
+        let bus = EventBus::new();
+        bus.set_enabled(true);
+        bus.emit(Event::new(EventKind::TaskStarted).task("task-1"));
+        bus.emit(Event::new(EventKind::FiberRun).fiber("task-1/f0"));
+        bus.emit(
+            Event::new(EventKind::FiberForked {
+                child: "task-1/f1".into(),
+            })
+            .fiber("task-1/f0"),
+        );
+        bus.emit(Event::new(EventKind::FiberRun).fiber("task-1/f1"));
+        bus.emit(Event::new(EventKind::FiberDone).fiber("task-1/f1"));
+        bus.emit(Event::new(EventKind::TaskDone {
+            outcome: "completed".into(),
+        })
+        .task("task-1"));
+
+        let set = TimelineSet::build(&emitted(&bus));
+        assert_eq!(set.tasks.len(), 1);
+        assert!(set.orphans.is_empty());
+        let t = set.task("task-1").unwrap();
+        let child = t.span("task-1/f1").unwrap();
+        assert_eq!(child.parent.as_deref(), Some("task-1/f0"));
+        let root = t.span("task-1/f0").unwrap();
+        assert_eq!(root.children, vec!["task-1/f1".to_string()]);
+        let rendered = t.render();
+        assert!(rendered.contains("task task-1"));
+        assert!(rendered.contains("fiber task-1/f0"));
+        // Child is indented deeper than its parent.
+        let parent_line = rendered.lines().find(|l| l.ends_with("fiber task-1/f0")).unwrap();
+        let child_line = rendered.lines().find(|l| l.ends_with("fiber task-1/f1")).unwrap();
+        assert!(child_line.len() - child_line.trim_start().len()
+            > parent_line.len() - parent_line.trim_start().len());
+    }
+
+    #[test]
+    fn faults_attach_to_their_task() {
+        let bus = EventBus::new();
+        bus.set_enabled(true);
+        bus.emit(Event::new(EventKind::TaskStarted).task("task-1"));
+        bus.emit(Event::new(EventKind::FiberRun).fiber("task-1/f0"));
+        bus.emit(
+            Event::new(EventKind::FaultInjected {
+                fault: "drop".into(),
+                operation: "RunFiber".into(),
+            })
+            .fiber("task-1/f0")
+            .message(42),
+        );
+        let set = TimelineSet::build(&emitted(&bus));
+        let t = set.task("task-1").unwrap();
+        let faults = t.faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].message_id, Some(42));
+        assert!(t.render().contains("drop on RunFiber"));
+        assert!(t.render().contains("[msg 42]"));
+        assert!(set.correlated_orphans().is_empty());
+    }
+
+    #[test]
+    fn broker_only_tasks_are_orphans() {
+        let bus = EventBus::new();
+        bus.set_enabled(true);
+        // A fault naming a task that never started: correlation bug.
+        bus.emit(
+            Event::new(EventKind::FaultInjected {
+                fault: "delay".into(),
+                operation: "RunFiber".into(),
+            })
+            .task("task-9"),
+        );
+        // Ambient traffic with no ids: orphan, but not "correlated".
+        bus.emit(Event::new(EventKind::MessageSent {
+            service: "admin".into(),
+            operation: "Spawn".into(),
+        }));
+        let set = TimelineSet::build(&emitted(&bus));
+        assert!(set.tasks.is_empty());
+        assert_eq!(set.orphans.len(), 2);
+        assert_eq!(set.correlated_orphans().len(), 1);
+    }
+}

@@ -30,23 +30,20 @@
 //! condition actions (§3.7, Listing 6).
 //!
 //! ```
-//! use std::sync::Arc;
 //! use std::time::Duration;
 //! use bluebox::Cluster;
-//! use vinz::{MemStore, InProcessLocks, VinzConfig, WorkflowService};
+//! use vinz::WorkflowService;
 //!
 //! let cluster = Cluster::new();
-//! let wf = WorkflowService::deploy(
-//!     &cluster,
-//!     "wf",
-//!     "(defun main (n)
-//!        (apply #'+ (for-each (i in (range n)) (* i i))))",
-//!     Arc::new(MemStore::new()),
-//!     Arc::new(InProcessLocks::new()),
-//!     VinzConfig::default(),
-//! ).unwrap();
-//! wf.spawn_instances(0, 2);
-//! wf.spawn_instances(1, 2);
+//! let wf = WorkflowService::builder(&cluster, "wf")
+//!     .source(
+//!         "(defun main (n)
+//!            (apply #'+ (for-each (i in (range n)) (* i i))))",
+//!     )
+//!     .instances(0, 2)
+//!     .instances(1, 2)
+//!     .deploy()
+//!     .unwrap();
 //! let result = wf.call("main", vec![gozer_lang::Value::Int(5)],
 //!                      Duration::from_secs(30)).unwrap();
 //! assert_eq!(result, gozer_lang::Value::Int(30));
@@ -67,7 +64,10 @@ pub mod tracker;
 pub use cache::{CacheStats, FiberCache};
 pub use locks::{FileLocks, InProcessLocks, LockManager, ZkLocks};
 pub use prelude::VINZ_PRELUDE;
-pub use service::{NodeRuntime, VinzConfig, VinzError, VinzMetrics, WorkflowService};
+pub use service::{
+    NodeRuntime, VinzConfig, VinzError, VinzMetrics, WorkflowObs, WorkflowService,
+    WorkflowServiceBuilder,
+};
 pub use store::{FileStore, MemStore, StateStore, StoreError};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use tracker::{TaskRecord, TaskStatus, TaskTracker};

@@ -224,8 +224,15 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
             &fiber_id,
             TraceKind::ServiceCall(format!("{service}:{operation}")),
         );
+        // Stamp the workflow ids on the request: the broker copies them
+        // onto the ResumeFromCall reply, so faults injected into either
+        // leg correlate back to this fiber's timeline.
+        let task_id = ext_str(ctx, "task-id", "call").unwrap_or_default();
         inner.cluster.send_with_service_reply_corr(
-            Message::new(&service, &operation, body).header("soap-action", soap_action),
+            Message::new(&service, &operation, body)
+                .header("soap-action", soap_action)
+                .header("task-id", task_id)
+                .header("fiber-id", fiber_id.as_str()),
             &inner.name,
             "ResumeFromCall",
             correlation,

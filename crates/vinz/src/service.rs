@@ -18,13 +18,14 @@ use std::time::{Duration, Instant};
 use bluebox::{Cluster, Fault, Message, ServiceCtx};
 use gozer_compress::Codec;
 use gozer_lang::Value;
+use gozer_obs::{Event, EventKind, Obs, Snapshot, TimelineSet};
 use gozer_serial::{deserialize_state, deserialize_value, serialize_state, serialize_value};
-use gozer_vm::{Condition, FiberState, Gvm, RunOutcome, Unwind, VmError};
+use gozer_vm::{Condition, FiberObsEvent, FiberObsKind, FiberState, Gvm, RunOutcome, Unwind, VmError};
 use parking_lot::RwLock;
 
 use crate::cache::FiberCache;
-use crate::locks::LockManager;
-use crate::store::StateStore;
+use crate::locks::{InProcessLocks, LockManager};
+use crate::store::{MemStore, StateStore};
 use crate::trace::{Trace, TraceKind};
 use crate::tracker::{TaskRecord, TaskStatus, TaskTracker};
 
@@ -121,8 +122,9 @@ pub(crate) struct Inner {
     pub locks: Arc<dyn LockManager>,
     pub config: VinzConfig,
     pub tracker: TaskTracker,
+    pub obs: Arc<Obs>,
     pub trace: Trace,
-    pub metrics: VinzMetrics,
+    pub metrics: Arc<VinzMetrics>,
     nodes: RwLock<HashMap<u32, Arc<NodeRuntime>>>,
     next_task: AtomicU64,
     next_fiber: AtomicU64,
@@ -134,31 +136,76 @@ pub struct WorkflowService {
     pub(crate) inner: Arc<Inner>,
 }
 
-impl WorkflowService {
-    /// Deploy `source` as the workflow service `name` on `cluster`.
+/// Staged deployment of a [`WorkflowService`]: created by
+/// [`WorkflowService::builder`], finished by
+/// [`WorkflowServiceBuilder::deploy`]. Store, locks and config have
+/// in-process defaults ([`MemStore`], [`InProcessLocks`],
+/// `VinzConfig::default()`), so a minimal deployment is just
+/// `.source(..).deploy()`.
+pub struct WorkflowServiceBuilder {
+    cluster: Arc<Cluster>,
+    name: String,
+    source: String,
+    store: Arc<dyn StateStore>,
+    locks: Arc<dyn LockManager>,
+    config: VinzConfig,
+    instances: Vec<(u32, usize)>,
+}
+
+impl WorkflowServiceBuilder {
+    /// The workflow source to compile and serve.
+    pub fn source(mut self, source: &str) -> Self {
+        self.source = source.to_string();
+        self
+    }
+
+    /// The shared persistence store (default: a fresh [`MemStore`]).
+    pub fn store(mut self, store: Arc<dyn StateStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The distributed lock manager (default: [`InProcessLocks`]).
+    pub fn locks(mut self, locks: Arc<dyn LockManager>) -> Self {
+        self.locks = locks;
+        self
+    }
+
+    /// Deployment configuration (default: `VinzConfig::default()`).
+    pub fn config(mut self, config: VinzConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Spawn `count` service instances on `node_id` as part of the
+    /// deployment. May be repeated for multiple nodes.
+    pub fn instances(mut self, node_id: u32, count: usize) -> Self {
+        self.instances.push((node_id, count));
+        self
+    }
+
+    /// Compile the source, register the service on the cluster, and
+    /// spawn any requested instances.
     ///
     /// The source is compiled eagerly on an admin runtime so deployment
     /// fails fast on compile errors; each node instance re-loads the same
     /// source lazily, which is what lets migrated continuations re-link
     /// (program ids are content-derived).
-    pub fn deploy(
-        cluster: &Arc<Cluster>,
-        name: &str,
-        source: &str,
-        store: Arc<dyn StateStore>,
-        locks: Arc<dyn LockManager>,
-        config: VinzConfig,
-    ) -> Result<WorkflowService, VinzError> {
+    pub fn deploy(self) -> Result<WorkflowService, VinzError> {
+        let obs = self.cluster.obs();
+        let metrics = Arc::new(VinzMetrics::default());
+        register_vinz_metrics(&obs, &metrics, &self.name);
         let inner = Arc::new(Inner {
-            name: name.to_string(),
-            source: source.to_string(),
-            cluster: cluster.clone(),
-            store,
-            locks,
-            config,
+            name: self.name.clone(),
+            source: self.source,
+            cluster: self.cluster.clone(),
+            store: self.store,
+            locks: self.locks,
+            config: self.config,
             tracker: TaskTracker::new(),
-            trace: Trace::new(),
-            metrics: VinzMetrics::default(),
+            trace: Trace::over(obs.clone()),
+            obs,
+            metrics,
             nodes: RwLock::new(HashMap::new()),
             next_task: AtomicU64::new(1),
             next_fiber: AtomicU64::new(1),
@@ -168,8 +215,49 @@ impl WorkflowService {
         let handler = WorkflowHandler {
             inner: Arc::downgrade(&inner),
         };
-        cluster.register_service(name, None, Arc::new(handler));
-        Ok(WorkflowService { inner })
+        self.cluster.register_service(&self.name, None, Arc::new(handler));
+        let service = WorkflowService { inner };
+        for (node_id, count) in self.instances {
+            service.spawn_instances(node_id, count);
+        }
+        Ok(service)
+    }
+}
+
+impl WorkflowService {
+    /// Start building a deployment of workflow service `name` on
+    /// `cluster`; see [`WorkflowServiceBuilder`].
+    pub fn builder(cluster: &Arc<Cluster>, name: &str) -> WorkflowServiceBuilder {
+        WorkflowServiceBuilder {
+            cluster: cluster.clone(),
+            name: name.to_string(),
+            source: String::new(),
+            store: Arc::new(MemStore::new()),
+            locks: Arc::new(InProcessLocks::new()),
+            config: VinzConfig::default(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// Deploy `source` as the workflow service `name` on `cluster`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `WorkflowService::builder(&cluster, name).source(src).store(..).locks(..).config(..).deploy()`"
+    )]
+    pub fn deploy(
+        cluster: &Arc<Cluster>,
+        name: &str,
+        source: &str,
+        store: Arc<dyn StateStore>,
+        locks: Arc<dyn LockManager>,
+        config: VinzConfig,
+    ) -> Result<WorkflowService, VinzError> {
+        WorkflowService::builder(cluster, name)
+            .source(source)
+            .store(store)
+            .locks(locks)
+            .config(config)
+            .deploy()
     }
 
     /// Spawn service instances on a node (threads competing for this
@@ -255,22 +343,34 @@ impl WorkflowService {
         self.inner.tracker.status(task_id)
     }
 
-    /// The lifetime trace (enable with [`WorkflowService::set_tracing`]).
+    /// The unified observability view: tracing toggle, event stream,
+    /// per-task timelines, counters, tracker, and the text exporter.
+    pub fn obs(&self) -> WorkflowObs {
+        WorkflowObs {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// The lifetime trace.
+    #[deprecated(since = "0.1.0", note = "use `obs().trace_view()` (or `obs().timelines()`)")]
     pub fn trace(&self) -> &Trace {
         &self.inner.trace
     }
 
     /// Toggle lifetime tracing.
+    #[deprecated(since = "0.1.0", note = "use `obs().set_tracing(on)`")]
     pub fn set_tracing(&self, on: bool) {
         self.inner.trace.set_enabled(on);
     }
 
     /// Vinz metrics.
+    #[deprecated(since = "0.1.0", note = "use `obs().counters()`")]
     pub fn metrics(&self) -> &VinzMetrics {
         &self.inner.metrics
     }
 
     /// Task tracker (records, durations, fiber counts).
+    #[deprecated(since = "0.1.0", note = "use `obs().tracker()`")]
     pub fn tracker(&self) -> &TaskTracker {
         &self.inner.tracker
     }
@@ -289,6 +389,145 @@ impl WorkflowService {
     /// The underlying store (for experiment instrumentation).
     pub fn store(&self) -> &Arc<dyn StateStore> {
         &self.inner.store
+    }
+}
+
+/// The unified observability view of a deployed workflow service,
+/// returned by [`WorkflowService::obs`]. One handle replaces the former
+/// per-facet getters (`trace()`, `set_tracing()`, `metrics()`,
+/// `tracker()`): tracing toggle, correlated event stream, span-tree
+/// timelines, Vinz counters, the task tracker, and the cluster-wide
+/// Prometheus-style text exporter.
+#[derive(Clone)]
+pub struct WorkflowObs {
+    inner: Arc<Inner>,
+}
+
+impl WorkflowObs {
+    /// Toggle event collection on the shared cluster bus (what
+    /// "tracing" means post-unification: broker, workflow and VM events
+    /// all start or stop together).
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.obs.bus.set_enabled(on);
+    }
+
+    /// Whether event collection is on.
+    pub fn is_tracing(&self) -> bool {
+        self.inner.obs.bus.is_enabled()
+    }
+
+    /// The full correlated event stream (broker + workflow + VM), in
+    /// emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.obs.bus.snapshot()
+    }
+
+    /// The workflow-lifecycle view of the stream (the pre-unification
+    /// [`Trace`] shape, with broker/VM events filtered out).
+    pub fn trace_view(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// Reconstruct per-task span trees from the event stream.
+    pub fn timelines(&self) -> TimelineSet {
+        TimelineSet::build(&self.inner.obs.bus.snapshot())
+    }
+
+    /// Render one task's Figure-1-style timeline, if it appears in the
+    /// stream.
+    pub fn timeline(&self, task_id: &str) -> Option<String> {
+        self.timelines().task(task_id).map(|t| t.render())
+    }
+
+    /// Render every task's timeline.
+    pub fn render(&self) -> String {
+        self.timelines().render()
+    }
+
+    /// Vinz-level counters for this service.
+    pub fn counters(&self) -> &VinzMetrics {
+        &self.inner.metrics
+    }
+
+    /// Task tracker (records, durations, fiber counts).
+    pub fn tracker(&self) -> &TaskTracker {
+        &self.inner.tracker
+    }
+
+    /// Render the cluster-wide metrics registry in Prometheus text
+    /// exposition format.
+    pub fn export_text(&self) -> String {
+        self.inner.obs.registry.render_text()
+    }
+
+    /// Point-in-time snapshot of every registered metric; two snapshots
+    /// [`diff`](Snapshot::diff) into an interval view.
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner.obs.registry.snapshot()
+    }
+
+    /// The underlying shared observability handle (bus + registry).
+    pub fn handle(&self) -> Arc<Obs> {
+        self.inner.obs.clone()
+    }
+}
+
+/// Mirror the [`VinzMetrics`] atomics into the cluster registry as
+/// closure-backed counters, labelled by service so multiple deployments
+/// on one cluster stay distinguishable.
+fn register_vinz_metrics(obs: &Arc<Obs>, metrics: &Arc<VinzMetrics>, service: &str) {
+    let labels = format!("service=\"{service}\"");
+    let reg = &obs.registry;
+    let mirror = |m: &Arc<VinzMetrics>, f: fn(&VinzMetrics) -> &AtomicU64| {
+        let m = m.clone();
+        move || f(&m).load(Ordering::Relaxed)
+    };
+    for (name, help, field) in [
+        (
+            "vinz_tasks_started_total",
+            "Tasks started.",
+            (|m: &VinzMetrics| &m.tasks_started) as fn(&VinzMetrics) -> &AtomicU64,
+        ),
+        ("vinz_fibers_run_total", "RunFiber executions.", |m| {
+            &m.fibers_run
+        }),
+        (
+            "vinz_resumes_total",
+            "Fiber resumptions (AwakeFiber + ResumeFromCall + JoinProcess).",
+            |m| &m.resumes,
+        ),
+        (
+            "vinz_awake_retries_total",
+            "AwakeFiber lock-wait give-ups.",
+            |m| &m.awake_retries,
+        ),
+        (
+            "vinz_fiber_persists_total",
+            "Fiber states persisted.",
+            |m| &m.persist_count,
+        ),
+        (
+            "vinz_fiber_persist_bytes_total",
+            "Bytes of persisted (compressed) fiber state.",
+            |m| &m.persist_bytes,
+        ),
+        (
+            "vinz_fiber_store_loads_total",
+            "Fiber loads served by the store (cache misses).",
+            |m| &m.load_count,
+        ),
+        (
+            "vinz_taskvar_cache_hits_total",
+            "Task-variable reads served by the node cache.",
+            |m| &m.taskvar_hits,
+        ),
+        (
+            "vinz_taskvar_cache_misses_total",
+            "Task-variable reads served by the store.",
+            |m| &m.taskvar_misses,
+        ),
+    ] {
+        reg.counter_fn(name, help, &labels, mirror(metrics, field));
     }
 }
 
@@ -333,6 +572,24 @@ impl Inner {
         // (and therefore migrated continuations) line up.
         gvm.load_str(&self.source, &format!("workflow:{}", self.name))
             .map_err(|e| VinzError(format!("workflow source failed to load: {e}")))?;
+        // The VM leg of the observability layer: continuation captures
+        // and re-entries, correlated through the fiber's ext map.
+        if node_id != ADMIN_NODE {
+            let obs = self.obs.clone();
+            gvm.set_fiber_observer(Some(Arc::new(move |e: &FiberObsEvent<'_>| {
+                let kind = match e.kind {
+                    FiberObsKind::Suspended { frames } => EventKind::VmSuspend { frames },
+                    FiberObsKind::Resumed => EventKind::VmResume,
+                    // Completion/failure already appear as lifecycle
+                    // events (FiberDone / TaskDone).
+                    FiberObsKind::Completed | FiberObsKind::Failed => return,
+                };
+                let task = e.ext.get("task-id").and_then(|v| v.as_str().map(str::to_owned));
+                let fiber = e.ext.get("fiber-id").and_then(|v| v.as_str().map(str::to_owned));
+                obs.bus
+                    .emit(Event::new(kind).node(node_id).task_opt(task).fiber_opt(fiber));
+            })));
+        }
         let rt = Arc::new(NodeRuntime {
             node_id,
             gvm,

@@ -12,9 +12,7 @@ use gozer_serial::{deserialize_value, serialize_value};
 use gozer_vm::Gvm;
 use gozer_xml::ServiceDescription;
 
-use crate::service::{VinzConfig, WorkflowService};
-use crate::store::MemStore;
-use crate::InProcessLocks;
+use crate::service::WorkflowService;
 use crate::TaskStatus;
 
 pub use bluebox::chaos::{
@@ -139,18 +137,15 @@ pub fn run_workflow_under_chaos(
     let cluster = Cluster::new();
     let plan = ChaosPlan::new(config);
     cluster.set_chaos(plan.clone());
-    let workflow = WorkflowService::deploy(
-        &cluster,
-        SERVICE,
-        source,
-        Arc::new(MemStore::new()),
-        Arc::new(InProcessLocks::new()),
-        VinzConfig::default(),
-    )
-    .map_err(|e| format!("seed {seed}: deploy failed: {e}"))?;
-    for node in 0..2 {
-        workflow.spawn_instances(node, 2);
-    }
+    let workflow = WorkflowService::builder(&cluster, SERVICE)
+        .source(source)
+        .instances(0, 2)
+        .instances(1, 2)
+        .deploy()
+        .map_err(|e| format!("seed {seed}: deploy failed: {e}"))?;
+    // Record the full event stream so a failing seed can print the
+    // task's causal timeline, injected faults included.
+    workflow.obs().set_tracing(true);
     let task = workflow
         .start(function, args, None)
         .map_err(|e| format!("seed {seed}: start failed: {e}"))?;
@@ -181,11 +176,18 @@ pub fn run_workflow_under_chaos(
     }
 
     let stats = plan.snapshot();
+    // Capture the causal timeline before shutdown so failure messages
+    // can show exactly which operations and injected faults the task
+    // went through (the Figure-1 view, chaos edition).
+    let timeline = workflow
+        .obs()
+        .timeline(&task)
+        .unwrap_or_else(|| "<no timeline recorded>".to_string());
     cluster.shutdown();
     let record = record.ok_or_else(|| {
         format!(
             "seed {seed}: task neither completed nor became resumable \
-             (recovered={recovered}, faults={stats:?})"
+             (recovered={recovered}, faults={stats:?})\n{timeline}"
         )
     })?;
     match record.status {
@@ -197,7 +199,7 @@ pub fn run_workflow_under_chaos(
         }),
         other => Err(format!(
             "seed {seed}: task ended {other:?} instead of completing \
-             (recovered={recovered}, faults={stats:?})"
+             (recovered={recovered}, faults={stats:?})\n{timeline}"
         )),
     }
 }

@@ -1,10 +1,19 @@
 //! Workflow lifetime tracing — the instrumentation behind Figure 1
 //! ("Sample Workflow Lifetime"): a timestamped record of every operation,
 //! suspension, persistence and resumption a task goes through.
+//!
+//! Since the unified observability layer landed, [`Trace`] is a thin
+//! adapter over a shared [`gozer_obs::EventBus`]: `record` translates a
+//! [`TraceKind`] into a structured [`gozer_obs::Event`] and emits it on
+//! the bus (where broker and VM events interleave with it), and
+//! [`Trace::events`] filters the bus back down to the workflow lifecycle
+//! view this module always offered. Deployed services share their
+//! cluster's bus; a standalone `Trace::new()` owns a private one.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use gozer_obs::{Event, EventKind, Obs};
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +46,58 @@ pub enum TraceKind {
     TaskDone(String),
 }
 
+impl TraceKind {
+    /// The structured-event equivalent of this kind.
+    fn to_event_kind(&self) -> EventKind {
+        match self {
+            TraceKind::Start => EventKind::TaskStarted,
+            TraceKind::RunFiber => EventKind::FiberRun,
+            TraceKind::Yield(reason) => EventKind::FiberYield {
+                reason: reason.clone(),
+            },
+            TraceKind::Persist(bytes) => EventKind::FiberPersisted { bytes: *bytes },
+            TraceKind::Load(hit) => EventKind::FiberLoaded { cache_hit: *hit },
+            TraceKind::Resume(via) => EventKind::FiberResumed { via: via.clone() },
+            TraceKind::Fork(child) => EventKind::FiberForked {
+                child: child.clone(),
+            },
+            TraceKind::AwakeSent(parent) => EventKind::AwakeSent {
+                parent: parent.clone(),
+            },
+            TraceKind::AwakeRetry => EventKind::AwakeRetry,
+            TraceKind::ServiceCall(target) => EventKind::ServiceCallDispatched {
+                target: target.clone(),
+            },
+            TraceKind::FiberDone => EventKind::FiberDone,
+            TraceKind::TaskDone(outcome) => EventKind::TaskDone {
+                outcome: outcome.clone(),
+            },
+        }
+    }
+
+    /// Recover a workflow-lifecycle kind from a structured event;
+    /// `None` for broker/VM kinds (they have no legacy equivalent).
+    fn from_event_kind(kind: &EventKind) -> Option<TraceKind> {
+        Some(match kind {
+            EventKind::TaskStarted => TraceKind::Start,
+            EventKind::FiberRun => TraceKind::RunFiber,
+            EventKind::FiberYield { reason } => TraceKind::Yield(reason.clone()),
+            EventKind::FiberPersisted { bytes } => TraceKind::Persist(*bytes),
+            EventKind::FiberLoaded { cache_hit } => TraceKind::Load(*cache_hit),
+            EventKind::FiberResumed { via } => TraceKind::Resume(via.clone()),
+            EventKind::FiberForked { child } => TraceKind::Fork(child.clone()),
+            EventKind::AwakeSent { parent } => TraceKind::AwakeSent(parent.clone()),
+            EventKind::AwakeRetry => TraceKind::AwakeRetry,
+            EventKind::ServiceCallDispatched { target } => {
+                TraceKind::ServiceCall(target.clone())
+            }
+            EventKind::FiberDone => TraceKind::FiberDone,
+            EventKind::TaskDone { outcome } => TraceKind::TaskDone(outcome.clone()),
+            _ => return None,
+        })
+    }
+}
+
 /// One trace record.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
@@ -54,27 +115,45 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// An append-only in-memory trace.
-#[derive(Default)]
+/// The workflow-lifecycle view over a shared event bus (see the module
+/// docs). API-compatible with the pre-unification append-only trace.
 pub struct Trace {
-    events: Mutex<Vec<TraceEvent>>,
-    enabled: std::sync::atomic::AtomicBool,
+    obs: Arc<Obs>,
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace::new()
+    }
 }
 
 impl Trace {
-    /// Disabled by default.
+    /// Standalone trace over a private bus, disabled by default.
     pub fn new() -> Trace {
-        Trace::default()
+        Trace {
+            obs: Arc::new(Obs::new()),
+        }
     }
 
-    /// Turn recording on/off.
+    /// Adapter over a shared observability handle (a deployed service
+    /// passes its cluster's).
+    pub fn over(obs: Arc<Obs>) -> Trace {
+        Trace { obs }
+    }
+
+    /// The underlying observability handle.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Turn recording on/off (toggles the whole shared bus).
     pub fn set_enabled(&self, on: bool) {
-        self.enabled.store(on, std::sync::atomic::Ordering::Relaxed);
+        self.obs.bus.set_enabled(on);
     }
 
     /// Is recording on?
     pub fn is_enabled(&self) -> bool {
-        self.enabled.load(std::sync::atomic::Ordering::Relaxed)
+        self.obs.bus.is_enabled()
     }
 
     /// Record (no-op while disabled).
@@ -82,24 +161,41 @@ impl Trace {
         if !self.is_enabled() {
             return;
         }
-        self.events.lock().push(TraceEvent {
-            at: Instant::now(),
-            node,
-            instance,
-            task: task.to_string(),
-            fiber: fiber.to_string(),
-            kind,
-        });
+        let mut event = Event::new(kind.to_event_kind())
+            .node(node)
+            .instance(instance)
+            .task(task);
+        if fiber != "-" {
+            event = event.fiber(fiber);
+        }
+        self.obs.bus.emit(event);
     }
 
-    /// Snapshot all events in order.
+    /// Snapshot the workflow-lifecycle events in order. Broker and VM
+    /// events sharing the bus are filtered out, so counts match what the
+    /// pre-unification trace recorded.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
+        self.obs
+            .bus
+            .snapshot()
+            .into_iter()
+            .filter_map(|e| {
+                let kind = TraceKind::from_event_kind(&e.kind)?;
+                Some(TraceEvent {
+                    at: e.at,
+                    node: e.node.unwrap_or(0),
+                    instance: e.instance.unwrap_or(0),
+                    task: e.task.unwrap_or_else(|| "-".to_string()),
+                    fiber: e.fiber.unwrap_or_else(|| "-".to_string()),
+                    kind,
+                })
+            })
+            .collect()
     }
 
-    /// Clear the log.
+    /// Clear the log (clears the whole shared bus).
     pub fn clear(&self) {
-        self.events.lock().clear();
+        self.obs.bus.clear();
     }
 
     /// Render the lifetime as indented text, one line per event, with
@@ -112,7 +208,7 @@ impl Trace {
         let t0 = first.at;
         let mut out = String::new();
         for e in &events {
-            let ms = e.at.duration_since(t0).as_micros() as f64 / 1000.0;
+            let ms = e.at.saturating_duration_since(t0).as_micros() as f64 / 1000.0;
             out.push_str(&format!(
                 "{ms:9.3}ms  node{} inst{:<3} {:<26} task={} fiber={}\n",
                 e.node,
@@ -151,5 +247,43 @@ mod tests {
         assert!(text.contains("node1"));
         t.clear();
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn kinds_round_trip_through_the_bus() {
+        let kinds = vec![
+            TraceKind::Start,
+            TraceKind::RunFiber,
+            TraceKind::Yield("children".into()),
+            TraceKind::Persist(128),
+            TraceKind::Load(true),
+            TraceKind::Resume("awake".into()),
+            TraceKind::Fork("task-1/f2".into()),
+            TraceKind::AwakeSent("task-1/f0".into()),
+            TraceKind::AwakeRetry,
+            TraceKind::ServiceCall("maths:Square".into()),
+            TraceKind::FiberDone,
+            TraceKind::TaskDone("completed".into()),
+        ];
+        let t = Trace::new();
+        t.set_enabled(true);
+        for k in &kinds {
+            t.record(0, 1, "task-1", "task-1/f1", k.clone());
+        }
+        let back: Vec<TraceKind> = t.events().into_iter().map(|e| e.kind).collect();
+        assert_eq!(back, kinds);
+    }
+
+    #[test]
+    fn broker_events_are_filtered_from_the_lifecycle_view() {
+        let t = Trace::new();
+        t.set_enabled(true);
+        t.record(0, 1, "task-1", "task-1/f1", TraceKind::Start);
+        t.obs().bus.emit(gozer_obs::Event::new(EventKind::MessageSent {
+            service: "wf".into(),
+            operation: "RunFiber".into(),
+        }));
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.obs().bus.snapshot().len(), 2);
     }
 }

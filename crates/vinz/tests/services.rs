@@ -9,7 +9,7 @@ use bluebox::{Cluster, Fault};
 use gozer_lang::Value;
 use gozer_xml::ServiceDescription;
 use vinz::testing::register_value_service;
-use vinz::{InProcessLocks, MemStore, TaskStatus, VinzConfig, WorkflowService};
+use vinz::{TaskStatus, WorkflowService};
 
 const TIMEOUT: Duration = Duration::from_secs(60);
 
@@ -58,18 +58,12 @@ fn cluster_with_sm() -> Arc<Cluster> {
 }
 
 fn deploy(cluster: &Arc<Cluster>, source: &str) -> WorkflowService {
-    let wf = WorkflowService::deploy(
-        cluster,
-        "wf",
-        source,
-        Arc::new(MemStore::new()),
-        Arc::new(InProcessLocks::new()),
-        VinzConfig::default(),
-    )
-    .unwrap();
-    wf.spawn_instances(0, 2);
-    wf.spawn_instances(1, 2);
-    wf
+    WorkflowService::builder(cluster, "wf")
+        .source(source)
+        .instances(0, 2)
+        .instances(1, 2)
+        .deploy()
+        .unwrap()
 }
 
 #[test]
@@ -121,10 +115,11 @@ fn nonblocking_call_yields_and_resumes() {
         "(deflink SM :wsdl \"urn:security-manager-service\" :port \"SecurityManager\")
          (defun main (n) (SM-Square-Method :n n))",
     );
-    wf.set_tracing(true);
+    let obs = wf.obs();
+    obs.set_tracing(true);
     let result = wf.call("main", vec![Value::Int(9)], TIMEOUT).unwrap();
     assert_eq!(result, Value::Int(81));
-    let events = wf.trace().events();
+    let events = obs.trace_view().events();
     assert!(
         events
             .iter()
@@ -145,15 +140,12 @@ fn unsupported_operation_fails_at_compile_time() {
     let cluster = cluster_with_sm();
     // Merely loading a workflow that *references* the unsupported op
     // fails at compile (load) time — deploy reports the error.
-    let err = WorkflowService::deploy(
-        &cluster,
-        "wf-bad",
-        "(deflink SM :wsdl \"urn:security-manager-service\" :port \"SecurityManager\")
-         (defun main () (SM-NativeOnly))",
-        Arc::new(MemStore::new()),
-        Arc::new(InProcessLocks::new()),
-        VinzConfig::default(),
-    );
+    let err = WorkflowService::builder(&cluster, "wf-bad")
+        .source(
+            "(deflink SM :wsdl \"urn:security-manager-service\" :port \"SecurityManager\")
+             (defun main () (SM-NativeOnly))",
+        )
+        .deploy();
     let err = match err {
         Err(e) => e,
         Ok(_) => panic!("deploy should fail at compile time"),

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use bluebox::Cluster;
 use gozer_lang::Value;
-use vinz::{InProcessLocks, MemStore, TaskStatus, VinzConfig, WorkflowService, ZkLocks};
+use vinz::{InProcessLocks, TaskStatus, VinzConfig, WorkflowService, ZkLocks};
 use zk_lite::ZkServer;
 
 const TIMEOUT: Duration = Duration::from_secs(120);
@@ -18,18 +18,14 @@ fn deploy_with(
     config: VinzConfig,
     locks: Arc<dyn vinz::LockManager>,
 ) -> WorkflowService {
-    let wf = WorkflowService::deploy(
-        cluster,
-        "wf",
-        source,
-        Arc::new(MemStore::new()),
-        locks,
-        config,
-    )
-    .unwrap();
-    wf.spawn_instances(0, 3);
-    wf.spawn_instances(1, 3);
-    wf
+    WorkflowService::builder(cluster, "wf")
+        .source(source)
+        .locks(locks)
+        .config(config)
+        .instances(0, 3)
+        .instances(1, 3)
+        .deploy()
+        .unwrap()
 }
 
 #[test]
@@ -97,7 +93,7 @@ fn large_fanout_with_tiny_spawn_limit() {
     );
     let v = wf.call("main", vec![Value::Int(50)], TIMEOUT).unwrap();
     assert_eq!(v, Value::Int((0..50).sum()));
-    let rec = wf.tracker().all().pop().unwrap();
+    let rec = wf.obs().tracker().all().pop().unwrap();
     assert_eq!(rec.fibers_created, 51);
     cluster.shutdown();
 }

@@ -7,26 +7,21 @@ use std::time::Duration;
 
 use bluebox::Cluster;
 use gozer_lang::Value;
-use vinz::{InProcessLocks, MemStore, TaskStatus, VinzConfig, WorkflowService};
+use vinz::{TaskStatus, VinzConfig, WorkflowService};
 
 fn deploy(cluster: &Arc<Cluster>, source: &str) -> WorkflowService {
     deploy_cfg(cluster, source, VinzConfig::default())
 }
 
 fn deploy_cfg(cluster: &Arc<Cluster>, source: &str, config: VinzConfig) -> WorkflowService {
-    let wf = WorkflowService::deploy(
-        cluster,
-        "wf",
-        source,
-        Arc::new(MemStore::new()),
-        Arc::new(InProcessLocks::new()),
-        config,
-    )
-    .unwrap();
     // Two nodes, two instances each: enough for cross-node migration.
-    wf.spawn_instances(0, 2);
-    wf.spawn_instances(1, 2);
-    wf
+    WorkflowService::builder(cluster, "wf")
+        .source(source)
+        .config(config)
+        .instances(0, 2)
+        .instances(1, 2)
+        .deploy()
+        .unwrap()
 }
 
 const TIMEOUT: Duration = Duration::from_secs(60);
@@ -47,7 +42,7 @@ fn dist_sum_squares_matches_listing_1() {
         .unwrap();
     assert_eq!(result, Value::Int(385));
     // 1 root fiber + 10 children.
-    let rec = wf.tracker().all().pop().unwrap();
+    let rec = wf.obs().tracker().all().pop().unwrap();
     assert_eq!(rec.fibers_created, 11);
     cluster.shutdown();
 }
@@ -255,10 +250,11 @@ fn fibers_run_on_multiple_nodes() {
         "(defun main ()
            (for-each (i in (range 16)) (* i i)))",
     );
-    wf.set_tracing(true);
+    let obs = wf.obs();
+    obs.set_tracing(true);
     wf.call("main", vec![], TIMEOUT).unwrap();
-    let nodes: std::collections::HashSet<u32> = wf
-        .trace()
+    let nodes: std::collections::HashSet<u32> = obs
+        .trace_view()
         .events()
         .iter()
         .filter(|e| matches!(e.kind, vinz::TraceKind::RunFiber))
@@ -329,10 +325,11 @@ fn figure1_event_sequence_is_ordered() {
            (let ((pid (fork-and-exec (lambda () 5))))
              (+ 1 (join-process pid))))",
     );
-    wf.set_tracing(true);
+    let obs = wf.obs();
+    obs.set_tracing(true);
     let v = wf.call("main", vec![], TIMEOUT).unwrap();
     assert_eq!(v, Value::Int(6));
-    let events = wf.trace().events();
+    let events = obs.trace_view().events();
     let root = "task-1/f0";
     let pos = |pred: &dyn Fn(&vinz::TraceKind) -> bool| {
         events
@@ -365,7 +362,8 @@ fn persistence_metrics_account_for_suspensions() {
     );
     wf.call("main", vec![], TIMEOUT).unwrap();
     use std::sync::atomic::Ordering;
-    let m = wf.metrics();
+    let obs = wf.obs();
+    let m = obs.counters();
     // Persists: 1 initial (root) + 4 children initial + 4 parent
     // suspensions (one per child yield) = 9.
     assert_eq!(m.persist_count.load(Ordering::Relaxed), 9);

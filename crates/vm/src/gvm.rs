@@ -78,6 +78,35 @@ impl NativeCtx<'_> {
 /// treats failure as a normal task outcome, not a Rust error).
 pub use crate::fiber::RunOutcome as FiberRunOutcome;
 
+/// What a [`FiberObsEvent`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FiberObsKind {
+    /// A suspended continuation is about to re-enter the interpreter.
+    Resumed,
+    /// The fiber captured a continuation with this many live heap frames.
+    Suspended {
+        /// Heap frame count at capture time.
+        frames: usize,
+    },
+    /// The fiber ran to completion (including clean `break`).
+    Completed,
+    /// The fiber terminated with an unhandled condition or unwind.
+    Failed,
+}
+
+/// One fiber lifecycle notification, with the fiber's extension map (the
+/// embedder keeps its identity — e.g. Vinz's `task-id`/`fiber-id` — in
+/// there).
+pub struct FiberObsEvent<'a> {
+    /// What happened.
+    pub kind: FiberObsKind,
+    /// The fiber's extension map at the time of the event.
+    pub ext: &'a FiberExt,
+}
+
+/// Observer callback installed with [`Gvm::set_fiber_observer`].
+pub type FiberObserver = Arc<dyn Fn(&FiberObsEvent<'_>) + Send + Sync>;
+
 /// The engine.
 pub struct Gvm {
     globals: RwLock<HashMap<Symbol, Value>>,
@@ -96,6 +125,9 @@ pub struct Gvm {
     /// When false, `future` runs eagerly on the calling thread (used by
     /// benches to isolate distribution effects from local parallelism).
     pub futures_enabled: AtomicBool,
+    /// Optional fiber suspend/resume observer (the VM leg of the
+    /// observability layer).
+    fiber_observer: RwLock<Option<FiberObserver>>,
 }
 
 impl Gvm {
@@ -124,6 +156,7 @@ impl Gvm {
             log_to_stdout: AtomicBool::new(false),
             rng: Mutex::new(0x9E3779B97F4A7C15),
             futures_enabled: AtomicBool::new(true),
+            fiber_observer: RwLock::new(None),
         });
         crate::natives::install(&gvm);
         gvm.load_str(crate::natives::PRELUDE, "prelude")
@@ -323,13 +356,29 @@ impl Gvm {
         call_nested(self, &mut ds, &mut ids, &mut ext, func.clone(), args)
     }
 
+    /// Install (or clear) the fiber observer, called on every resume,
+    /// suspension, completion, and failure routed through
+    /// [`Gvm::run_fiber`]/[`Gvm::resume_fiber`].
+    pub fn set_fiber_observer(&self, observer: Option<FiberObserver>) {
+        *self.fiber_observer.write() = observer;
+    }
+
     fn drive(self: &Arc<Gvm>, state: FiberState, resume: Option<Value>) -> VmResult<RunOutcome> {
+        let observer = self.fiber_observer.read().clone();
         let FiberState {
             mut frames,
             mut dyn_state,
             mut next_restart_id,
             mut ext,
         } = state;
+        if resume.is_some() {
+            if let Some(obs) = &observer {
+                obs(&FiberObsEvent {
+                    kind: FiberObsKind::Resumed,
+                    ext: &ext,
+                });
+            }
+        }
         let result = interp(
             self,
             &mut frames,
@@ -339,6 +388,17 @@ impl Gvm {
             false,
             resume,
         );
+        if let Some(obs) = &observer {
+            let kind = match &result {
+                Ok(InterpOutcome::Done(_)) => FiberObsKind::Completed,
+                Ok(InterpOutcome::Suspended(_)) => FiberObsKind::Suspended {
+                    frames: frames.len(),
+                },
+                Err(VmError::Unwind(Unwind::BreakFiber)) => FiberObsKind::Completed,
+                Err(_) => FiberObsKind::Failed,
+            };
+            obs(&FiberObsEvent { kind, ext: &ext });
+        }
         match result {
             Ok(InterpOutcome::Done(v)) => Ok(RunOutcome::Done(v)),
             Ok(InterpOutcome::Suspended(payload)) => Ok(RunOutcome::Suspended(Suspension {

@@ -53,7 +53,7 @@ pub use compiler::{Compiler, MacroHost};
 pub use conditions::Condition;
 pub use error::{Unwind, VmError, VmResult};
 pub use fiber::{DynState, FiberExt, FiberState, Frame, RunOutcome, Suspension};
-pub use gvm::{Gvm, GvmHost, NativeCtx};
+pub use gvm::{FiberObsEvent, FiberObsKind, FiberObserver, Gvm, GvmHost, NativeCtx};
 pub use natives::ObjectVal;
 pub use pool::ThreadPool;
 pub use runtime::{force, Closure, ContinuationVal, FutureVal, NativeFn, NativeOutcome};

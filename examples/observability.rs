@@ -1,0 +1,61 @@
+//! The unified observability layer: one workflow run, three views.
+//!
+//! 1. The **per-task timeline** — every fiber as a span (children
+//!    indented under the fiber that forked them), each event annotated
+//!    with the node/instance it executed on and its message id.
+//! 2. The **metrics exporter** — broker and Vinz counters/histograms in
+//!    Prometheus text format, as a scrape endpoint would serve them.
+//! 3. A **snapshot diff** — mean queue-wait and handler-busy latencies
+//!    computed over exactly the interval between two snapshots.
+//!
+//! ```bash
+//! cargo run --example observability
+//! ```
+
+use std::time::Duration;
+
+use gozer::{GozerSystem, Value};
+
+const WORKFLOW: &str = r#"
+(defun main (n)
+  (apply #'+ (for-each (i in (range n)) (* i i))))
+"#;
+
+fn main() {
+    let system = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .workflow(WORKFLOW)
+        .build()
+        .expect("deploy");
+
+    // One handle to everything: the event bus, the task tracker, the
+    // metrics registry, the timeline renderer.
+    let obs = system.workflow.obs();
+    obs.set_tracing(true);
+    let before = obs.snapshot();
+
+    let v = system
+        .call("main", vec![Value::Int(6)], Duration::from_secs(60))
+        .expect("workflow");
+    assert_eq!(v, Value::Int((0..6).map(|i| i * i).sum()));
+
+    println!("== per-task timeline ==========================================\n");
+    print!("{}", obs.render());
+
+    println!("\n== metrics (Prometheus text format) ===========================\n");
+    print!("{}", obs.export_text());
+
+    let delta = obs.snapshot().diff(&before);
+    println!("\n== latencies over this run (snapshot diff) ====================\n");
+    for (label, key) in [
+        ("queue wait", "bluebox_queue_wait_seconds"),
+        ("handler busy", "bluebox_handler_busy_seconds"),
+    ] {
+        match delta.histogram(key).and_then(|h| h.mean()) {
+            Some(mean) => println!("mean {label:<13}: {mean:.2?}"),
+            None => println!("mean {label:<13}: n/a"),
+        }
+    }
+    system.shutdown();
+}

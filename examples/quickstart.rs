@@ -68,7 +68,7 @@ fn main() {
     println!("{:>18}: {v:?}  ({:?})", "dist-sum-squares", t0.elapsed());
     assert_eq!(v, Value::Int(expected));
 
-    let rec = system.workflow.tracker().all().pop().unwrap();
+    let rec = system.workflow.obs().tracker().all().pop().unwrap();
     println!(
         "\ntask {} used {} fibers across the cluster; every square ran in its own fiber.",
         rec.id, rec.fibers_created

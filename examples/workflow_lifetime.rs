@@ -54,7 +54,8 @@ fn main() {
         .workflow(WORKFLOW)
         .build()
         .expect("deploy");
-    system.workflow.set_tracing(true);
+    let obs = system.workflow.obs();
+    obs.set_tracing(true);
 
     let v = system
         .call("main", vec![Value::Int(7)], Duration::from_secs(60))
@@ -63,10 +64,12 @@ fn main() {
     assert_eq!(v, Value::Int(210));
 
     println!("Figure 1 — sample workflow lifetime (result {v:?}):\n");
-    print!("{}", system.workflow.trace().render());
+    // The per-task span tree: fibers as nested spans, each annotated
+    // with the node/instance it ran on and any injected faults.
+    print!("{}", obs.render());
 
     // Summarize the mechanics the figure illustrates.
-    let events = system.workflow.trace().events();
+    let events = obs.trace_view().events();
     let persists = events
         .iter()
         .filter(|e| matches!(e.kind, gozer::TraceKind::Persist(_)))

@@ -27,4 +27,8 @@ run "$CARGO" test -p vinz --test chaos $OFFLINE -- --nocapture
 run "$CARGO" test -p bluebox chaos $OFFLINE
 run "$CARGO" test --test survivability $OFFLINE
 
+# Observability gate: the text exporter must serve all required metric
+# families with non-zero activity after a real workflow run.
+run make obs-check
+
 echo "ci: OK (chaos sweep width $CHAOS_SEEDS)"

@@ -1,0 +1,46 @@
+#!/bin/sh
+# obs-check: run an example workflow, scrape the metrics text exporter,
+# and assert every required family is present with non-zero activity.
+# A regression that stops broker or Vinz events from reaching the
+# unified observability layer fails this gate even while functional
+# tests still pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CARGO="${CARGO:-cargo}"
+OFFLINE="${CARGO_OFFLINE:---offline}"
+
+OUT="$("$CARGO" run -q $OFFLINE --example observability)"
+
+fail=0
+# Counters are asserted on their sample line, histograms on _count.
+for family in \
+    bluebox_messages_sent_total \
+    bluebox_messages_delivered_total \
+    bluebox_queue_wait_seconds_count \
+    bluebox_handler_busy_seconds_count \
+    vinz_tasks_started_total \
+    vinz_fibers_run_total \
+    vinz_fiber_persists_total
+do
+    line=$(printf '%s\n' "$OUT" | grep "^$family" | head -1 || true)
+    if [ -z "$line" ]; then
+        echo "obs-check: FAIL — family $family missing from exporter output"
+        fail=1
+        continue
+    fi
+    value=${line##* }
+    case "$value" in
+        0 | 0.0)
+            echo "obs-check: FAIL — $family is zero"
+            fail=1
+            ;;
+        *)
+            echo "obs-check: ok   $family = $value"
+            ;;
+    esac
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "obs-check: OK"

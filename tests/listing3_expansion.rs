@@ -23,11 +23,12 @@ fn run_with_limit(limit: usize, items: i64) -> (Vec<gozer::TraceEvent>, TaskStat
         )
         .build()
         .unwrap();
-    sys.workflow.set_tracing(true);
+    let obs = sys.workflow.obs();
+    obs.set_tracing(true);
     let numbers: Vec<Value> = (1..=items).map(Value::Int).collect();
     let task = sys.workflow.start("main", vec![Value::list(numbers)], None).unwrap();
     let rec = sys.wait(&task, TIMEOUT).unwrap();
-    let events = sys.workflow.trace().events();
+    let events = obs.trace_view().events();
     sys.shutdown();
     (events, rec.status)
 }
@@ -120,7 +121,8 @@ fn dynamic_spawn_limit_adjustment() {
         )
         .build()
         .unwrap();
-    sys.workflow.set_tracing(true);
+    let obs = sys.workflow.obs();
+    obs.set_tracing(true);
     let v = sys.call("main", vec![], TIMEOUT).unwrap();
     assert_eq!(
         v,
@@ -130,7 +132,7 @@ fn dynamic_spawn_limit_adjustment() {
     let root = "task-1/f0";
     let mut outstanding = 0i64;
     let mut max_outstanding = 0i64;
-    for e in sys.workflow.trace().events() {
+    for e in obs.trace_view().events() {
         if e.fiber != root {
             continue;
         }

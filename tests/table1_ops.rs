@@ -103,10 +103,11 @@ fn terminate_operation_stops_any_workflow() {
 #[test]
 fn runfiber_and_awakefiber_drive_children() {
     let sys = system();
-    sys.workflow.set_tracing(true);
+    let obs = sys.workflow.obs();
+    obs.set_tracing(true);
     let v = sys.call("with-children", vec![Value::Int(6)], TIMEOUT).unwrap();
     assert_eq!(v, Value::Int((0..6).map(|i| i * i).sum()));
-    let events = sys.workflow.trace().events();
+    let events = obs.trace_view().events();
     let runs = events
         .iter()
         .filter(|e| matches!(e.kind, TraceKind::RunFiber))
@@ -124,12 +125,12 @@ fn runfiber_and_awakefiber_drive_children() {
 #[test]
 fn joinprocess_resumes_waiters() {
     let sys = system();
-    sys.workflow.set_tracing(true);
+    let obs = sys.workflow.obs();
+    obs.set_tracing(true);
     let v = sys.call("forker", vec![], TIMEOUT).unwrap();
     assert_eq!(v, Value::Int(42));
-    let joins = sys
-        .workflow
-        .trace()
+    let joins = obs
+        .trace_view()
         .events()
         .iter()
         .filter(|e| matches!(&e.kind, TraceKind::Resume(r) if r == "join"))
@@ -152,7 +153,8 @@ fn resumefromcall_resumes_service_callers() {
         )
         .build()
         .unwrap();
-    sys.workflow.set_tracing(true);
+    let obs = sys.workflow.obs();
+    obs.set_tracing(true);
     // The Sq service has no WSDL registered under that name... use direct
     // call natives instead to focus on ResumeFromCall mechanics.
     let v = sys.call("main", vec![], TIMEOUT);
@@ -162,9 +164,8 @@ fn resumefromcall_resumes_service_callers() {
     match v {
         Ok(v) => {
             assert_eq!(v, Value::Int(144));
-            let resumed = sys
-                .workflow
-                .trace()
+            let resumed = obs
+                .trace_view()
                 .events()
                 .iter()
                 .any(|e| matches!(&e.kind, TraceKind::Resume(r) if r == "service-call"));
