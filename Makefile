@@ -4,7 +4,7 @@
 CARGO ?= cargo
 CHAOS_SEEDS ?= 16
 
-.PHONY: build test test-all test-chaos obs-check bench ci
+.PHONY: build test test-all test-chaos obs-check profile-check bench ci
 
 build:
 	$(CARGO) build --release
@@ -27,6 +27,12 @@ test-chaos:
 # exporter, and assert the required metric families are non-zero.
 obs-check:
 	sh scripts/obs_check.sh
+
+# Profiler gate: run `gozer-repl profile` on the example pipeline and
+# assert the hot-function table, opcode counts, continuation costs, and
+# the folded-stack file are all present and well-formed.
+profile-check:
+	sh scripts/profile_check.sh
 
 bench:
 	$(CARGO) bench --workspace

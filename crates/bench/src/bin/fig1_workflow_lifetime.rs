@@ -21,6 +21,9 @@ const WORKFLOW: &str = "
 ";
 
 fn main() {
+    // Profiling is on by default (the overhead budget is ≤5% even when
+    // hot); GOZER_PROFILE=0 gives the undisturbed baseline.
+    let profiling = std::env::var("GOZER_PROFILE").map(|v| v != "0").unwrap_or(true);
     let cluster = Cluster::new();
     register_square_service(&cluster, "Sq", 1, 1, Duration::from_millis(2));
     let sys = GozerSystem::builder()
@@ -28,6 +31,7 @@ fn main() {
         .nodes(2)
         .instances_per_node(2)
         .workflow(WORKFLOW)
+        .profiling(profiling)
         .build()
         .expect("deploy");
     let obs = sys.workflow.obs();
@@ -52,5 +56,9 @@ fn main() {
         "  resumes             : {}",
         count(&|k| matches!(k, TraceKind::Resume(_)))
     );
+    if profiling {
+        println!("\nhot functions (GOZER_PROFILE=0 disables):");
+        print!("{}", obs.profile().top_functions(10));
+    }
     sys.shutdown();
 }

@@ -62,11 +62,13 @@ fn main() {
     let (specs, slice_stats) = production_day(200, scale, false, 7);
     let mut config = VinzConfig::default();
     config.spawn_limit = 8;
+    let profiling = std::env::var("GOZER_PROFILE").map(|v| v != "0").unwrap_or(true);
     let sys = GozerSystem::builder()
         .nodes(4)
         .instances_per_node(4)
         .config(config)
         .workflow(WORKFLOW)
+        .profiling(profiling)
         .build()
         .unwrap();
 
@@ -150,6 +152,20 @@ fn main() {
         mean_of("bluebox_handler_busy_seconds"),
     ]);
     t.print();
+    let profile = obs.profile();
+    let s = profile.serial;
+    println!(
+        "continuation costs: {} serialized ({} bytes, {:.2} ms), {} deserialized ({:.2} ms)",
+        s.serialize_count,
+        s.serialize_bytes,
+        s.serialize_nanos as f64 / 1e6,
+        s.deserialize_count,
+        s.deserialize_nanos as f64 / 1e6,
+    );
+    if profiling {
+        println!("\nhot functions (GOZER_PROFILE=0 disables):");
+        print!("{}", profile.top_functions(10));
+    }
     assert_eq!(completed, specs.len(), "every task must complete");
     sys.shutdown();
 }

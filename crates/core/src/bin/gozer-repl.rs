@@ -20,6 +20,18 @@
 //! Figure-1-style per-task timeline — every fiber as a span annotated
 //! with the node/instance it executed on — followed by the metrics in
 //! Prometheus text format.
+//!
+//! ## The `profile` subcommand
+//!
+//! ```bash
+//! cargo run -p gozer --bin gozer-repl -- profile workflow.gz main 5
+//! ```
+//!
+//! Same deployment, but with the GVM execution profiler enabled:
+//! prints the top-N hot-function table (calls, inclusive/exclusive
+//! time), the opcode mix, and the continuation serialize/deserialize
+//! costs, and writes the folded stacks to `<file>.folded` — pipe that
+//! through `flamegraph.pl` for an SVG.
 
 use std::io::{BufRead, Write};
 
@@ -97,10 +109,58 @@ fn run_timeline(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `profile <file> <function> [args...]`: run a workflow with the GVM
+/// profiler on; print the hot-function report and write the folded
+/// stacks next to the source file.
+fn run_profile(args: &[String]) -> Result<(), String> {
+    let (path, rest) = args
+        .split_first()
+        .ok_or("usage: gozer-repl profile <file> <function> [args...]")?;
+    let (function, rest) = rest
+        .split_first()
+        .ok_or("usage: gozer-repl profile <file> <function> [args...]")?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let sys = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .workflow(&source)
+        .profiling(true)
+        .build()
+        .map_err(|e| format!("deploy failed: {e}"))?;
+    let call_args: Vec<Value> = rest
+        .iter()
+        .map(|a| {
+            a.parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or_else(|_| Value::str(a))
+        })
+        .collect();
+    let v = sys
+        .call(function, call_args, std::time::Duration::from_secs(300))
+        .map_err(|e| format!("workflow failed: {e}"))?;
+    println!("result: {v:?}\n");
+    let profile = sys.workflow.obs().profile();
+    print!("{}", profile.render(20));
+    let folded_path = format!("{path}.folded");
+    std::fs::write(&folded_path, profile.folded_stacks())
+        .map_err(|e| format!("cannot write {folded_path}: {e}"))?;
+    println!("\nfolded stacks: {folded_path} (pipe through flamegraph.pl for an SVG)");
+    sys.shutdown();
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("timeline") {
         if let Err(e) = run_timeline(&args[1..]) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        if let Err(e) = run_profile(&args[1..]) {
             eprintln!("{e}");
             std::process::exit(1);
         }

@@ -62,7 +62,8 @@ pub use gozer_serial::{deserialize_state, deserialize_value, serialize_state, se
 pub use gozer_vm::{Condition, FiberState, Gvm, RunOutcome, Suspension, VmError};
 pub use gozer_xml::{Element, QName, ServiceDescription};
 pub use gozer_obs::{
-    Event, EventBus, EventKind, MetricsRegistry, Obs, Snapshot, TaskTimeline, TimelineSet,
+    Event, EventBus, EventKind, FlightDump, FlightRecorder, FnProfile, MetricsRegistry, Obs,
+    ProfileReport, SerialCostSnapshot, Snapshot, TaskTimeline, TimelineSet,
 };
 pub use vinz::{
     FileLocks, FileStore, InProcessLocks, LockManager, MemStore, StateStore, TaskRecord,
@@ -75,8 +76,8 @@ pub use zk_lite::ZkServer;
 /// examples, benches, and the randomized survivability suite).
 pub mod testing {
     pub use vinz::testing::{
-        chaos_seeds, register_square_service, register_value_service, repro_command,
-        run_workflow_under_chaos, ChaosRun,
+        chaos_seeds, install_flight_panic_hook, register_square_service, register_value_service,
+        repro_command, run_workflow_under_chaos, run_workflow_under_chaos_flight, ChaosRun,
     };
 }
 
@@ -171,6 +172,14 @@ impl GozerSystemBuilder {
     /// Vinz configuration.
     pub fn config(mut self, config: VinzConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Enable the GVM execution profiler on every node runtime
+    /// (per-opcode counts, per-function time attribution, folded
+    /// stacks; read back through `workflow.obs().profile()`).
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.config.profiling = on;
         self
     }
 

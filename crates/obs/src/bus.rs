@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -36,7 +37,9 @@ pub struct EventBus {
     shard_capacity: usize,
     seq: AtomicU64,
     enabled: AtomicBool,
-    dropped: AtomicU64,
+    // Shared so the metrics registry can mirror it via `counter_fn`
+    // (`gozer_events_dropped_total`) without holding the bus.
+    dropped: Arc<AtomicU64>,
 }
 
 impl Default for EventBus {
@@ -63,7 +66,7 @@ impl EventBus {
             shard_capacity,
             seq: AtomicU64::new(0),
             enabled: AtomicBool::new(false),
-            dropped: AtomicU64::new(0),
+            dropped: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -119,6 +122,11 @@ impl EventBus {
     /// Events evicted by ring overflow since the last [`EventBus::clear`].
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Shared handle on the drop counter, for closure-backed metrics.
+    pub fn dropped_handle(&self) -> Arc<AtomicU64> {
+        self.dropped.clone()
     }
 
     /// Drop all buffered events and reset the drop counter (the global

@@ -164,6 +164,58 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1) from the bucket counts.
+    ///
+    /// The target rank is located in its bucket and interpolated
+    /// **log-linearly** within it — the bucket bounds are a geometric
+    /// series (powers of four), so a fraction `f` into bucket `(L, U]`
+    /// maps to `L·(U/L)^f`. The first bucket has no finite lower bound
+    /// and interpolates linearly from 0; ranks landing in the +Inf
+    /// bucket clamp to the largest finite bound. `None` with zero
+    /// observations or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let prev = cum as f64;
+            cum += n;
+            if n == 0 || (cum as f64) < rank {
+                continue;
+            }
+            if i == HISTOGRAM_BUCKETS {
+                break; // +Inf: clamp below
+            }
+            let f = ((rank - prev) / n as f64).clamp(0.0, 1.0);
+            let upper = bucket_upper_nanos(i) as f64;
+            let nanos = if i == 0 {
+                upper * f
+            } else {
+                let lower = bucket_upper_nanos(i - 1) as f64;
+                lower * (upper / lower).powf(f)
+            };
+            return Some(Duration::from_nanos(nanos as u64));
+        }
+        Some(Duration::from_nanos(bucket_upper_nanos(HISTOGRAM_BUCKETS - 1)))
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<Duration> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+
     /// This snapshot minus an `earlier` one (saturating), giving the
     /// interval's observations only.
     pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
@@ -372,6 +424,21 @@ impl MetricsRegistry {
                             with_labels(&format!("{name}_count"), labels),
                             snap.count
                         );
+                        // Estimated quantiles (log-linear within the
+                        // log buckets), rendered summary-style.
+                        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                            let Some(d) = snap.quantile(q) else { continue };
+                            let q_label = if labels.is_empty() {
+                                format!("quantile=\"{label}\"")
+                            } else {
+                                format!("{labels},quantile=\"{label}\"")
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{name}{{{q_label}}} {}",
+                                format_seconds(d.as_nanos() as u64)
+                            );
+                        }
                     }
                 }
             }
@@ -597,8 +664,70 @@ bb_wait_seconds_bucket{le=\"4.194304\"} 2
 bb_wait_seconds_bucket{le=\"+Inf\"} 2
 bb_wait_seconds_sum 0.0020005
 bb_wait_seconds_count 2
+bb_wait_seconds{quantile=\"0.5\"} 0.000001
+bb_wait_seconds{quantile=\"0.95\"} 0.003565775
+bb_wait_seconds{quantile=\"0.99\"} 0.003983994
 ";
         assert_eq!(reg.render_text(), expected);
+    }
+
+    #[test]
+    fn quantiles_interpolate_log_linearly() {
+        // Geometric midpoint: everything in bucket 1 (1µs, 4µs], p50 at
+        // fraction 0.5 → 1000·4^0.5 = exactly 2µs.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe_nanos(3_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), Some(Duration::from_nanos(2_000)));
+        // Within one bucket the quantiles stay inside its bounds and
+        // are monotone in q.
+        let (p50, p95, p99) = (s.p50().unwrap(), s.p95().unwrap(), s.p99().unwrap());
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= Duration::from_nanos(4_000));
+        assert!(p50 > Duration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn quantiles_on_a_known_two_point_distribution() {
+        // 90 fast (≤1µs) + 10 slow (in (256µs, 1024µs]): p50 in the
+        // first bucket, p95/p99 in the slow one.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe_nanos(400);
+        }
+        for _ in 0..10 {
+            h.observe_nanos(500_000);
+        }
+        let s = h.snapshot();
+        // rank 50 of 90 in bucket 0 (linear from 0): 1000·(50/90).
+        assert_eq!(s.p50(), Some(Duration::from_nanos(555)));
+        // Slow bucket is (256µs, 1024µs]; rank 95 is halfway through
+        // its 10 samples, so log-linear gives 256µs·4^0.5 = 512µs.
+        assert_eq!(s.p95(), Some(Duration::from_nanos(512_000)));
+        let p99 = s.p99().unwrap();
+        assert!(
+            p99 > Duration::from_nanos(bucket_upper_nanos(4))
+                && p99 <= Duration::from_nanos(bucket_upper_nanos(5)),
+            "p99 {p99:?} must land inside the slow bucket"
+        );
+        assert!(s.p95().unwrap() <= p99);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(Histogram::new().snapshot().p50(), None);
+        let h = Histogram::new();
+        h.observe_nanos(u64::MAX / 2); // +Inf bucket
+        let s = h.snapshot();
+        // Ranks in the overflow bucket clamp to the largest finite bound.
+        assert_eq!(
+            s.p99(),
+            Some(Duration::from_nanos(bucket_upper_nanos(HISTOGRAM_BUCKETS - 1)))
+        );
+        assert_eq!(s.quantile(1.5), None);
+        assert_eq!(s.quantile(-0.1), None);
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Profile aggregation and reporting: the obs-side view of the GVM
+//! execution profiler.
+//!
+//! `gozer-obs` sits below `gozer-vm` in the dependency graph, so this
+//! module defines only plain data: the embedder (Vinz) converts each
+//! node VM's raw profiler snapshot into a [`ProfileReport`], merges
+//! reports across nodes, and folds in the continuation
+//! serialize/deserialize costs tracked by [`SerialCosts`]. The report
+//! renders two ways:
+//!
+//! * [`ProfileReport::folded_stacks`] — flamegraph folded format, one
+//!   `root;child;leaf weight` line per stack, weight = exclusive nanos
+//!   (pipe into `flamegraph.pl` for an SVG);
+//! * [`ProfileReport::top_functions`] — a top-N hot-function table by
+//!   exclusive time.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One profiled function's totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnProfile {
+    /// Function name (chunk name; toplevel chunks are `unit#index`).
+    pub name: String,
+    /// Times a frame for it was entered.
+    pub calls: u64,
+    /// Nanos while its frame was live and running (suspended intervals
+    /// excluded).
+    pub incl_nanos: u64,
+    /// Inclusive minus time in Gozer callees.
+    pub excl_nanos: u64,
+}
+
+/// Continuation serialization cost accumulators (lock-free; shared by
+/// every persist/load path of a workflow service).
+#[derive(Debug, Default)]
+pub struct SerialCosts {
+    serialize_count: AtomicU64,
+    serialize_bytes: AtomicU64,
+    serialize_nanos: AtomicU64,
+    /// Smallest single-sample cost; `u64::MAX` until first sample.
+    serialize_min_nanos: AtomicU64,
+    deserialize_count: AtomicU64,
+    deserialize_bytes: AtomicU64,
+    deserialize_nanos: AtomicU64,
+}
+
+impl SerialCosts {
+    /// Fresh zeroed accumulators.
+    pub fn new() -> SerialCosts {
+        SerialCosts {
+            serialize_min_nanos: AtomicU64::new(u64::MAX),
+            ..SerialCosts::default()
+        }
+    }
+
+    /// Record one continuation serialization.
+    pub fn record_serialize(&self, bytes: u64, nanos: u64) {
+        self.serialize_count.fetch_add(1, Ordering::Relaxed);
+        self.serialize_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.serialize_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.serialize_min_nanos.fetch_min(nanos, Ordering::Relaxed);
+    }
+
+    /// Record one continuation deserialization.
+    pub fn record_deserialize(&self, bytes: u64, nanos: u64) {
+        self.deserialize_count.fetch_add(1, Ordering::Relaxed);
+        self.deserialize_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.deserialize_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> SerialCostSnapshot {
+        let min = self.serialize_min_nanos.load(Ordering::Relaxed);
+        SerialCostSnapshot {
+            serialize_count: self.serialize_count.load(Ordering::Relaxed),
+            serialize_bytes: self.serialize_bytes.load(Ordering::Relaxed),
+            serialize_nanos: self.serialize_nanos.load(Ordering::Relaxed),
+            min_serialize_nanos: if min == u64::MAX { None } else { Some(min) },
+            deserialize_count: self.deserialize_count.load(Ordering::Relaxed),
+            deserialize_bytes: self.deserialize_bytes.load(Ordering::Relaxed),
+            deserialize_nanos: self.deserialize_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of [`SerialCosts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialCostSnapshot {
+    /// Continuations serialized.
+    pub serialize_count: u64,
+    /// Total envelope bytes written.
+    pub serialize_bytes: u64,
+    /// Total nanos serializing.
+    pub serialize_nanos: u64,
+    /// Cheapest single serialization, if any happened. Every recorded
+    /// sample is ≥ 1ns, so `Some(0)` never occurs.
+    pub min_serialize_nanos: Option<u64>,
+    /// Continuations deserialized.
+    pub deserialize_count: u64,
+    /// Total envelope bytes read.
+    pub deserialize_bytes: u64,
+    /// Total nanos deserializing.
+    pub deserialize_nanos: u64,
+}
+
+impl SerialCostSnapshot {
+    /// Merge (summing; min of mins).
+    pub fn merge(&mut self, other: &SerialCostSnapshot) {
+        self.serialize_count += other.serialize_count;
+        self.serialize_bytes += other.serialize_bytes;
+        self.serialize_nanos += other.serialize_nanos;
+        self.min_serialize_nanos = match (self.min_serialize_nanos, other.min_serialize_nanos) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.deserialize_count += other.deserialize_count;
+        self.deserialize_bytes += other.deserialize_bytes;
+        self.deserialize_nanos += other.deserialize_nanos;
+    }
+}
+
+/// A complete execution profile: per-function times, per-opcode counts,
+/// folded stacks, and continuation costs. Plain data; mergeable across
+/// node VMs.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Per-function totals, keyed by name.
+    pub functions: BTreeMap<String, FnProfile>,
+    /// Opcode name → executed count.
+    pub opcodes: BTreeMap<String, u64>,
+    /// Folded stack path (`root;child;leaf`) → exclusive nanos.
+    pub folded: BTreeMap<String, u64>,
+    /// Continuation serialize/deserialize costs.
+    pub serial: SerialCostSnapshot,
+}
+
+impl ProfileReport {
+    /// Fold `other` into `self` (summing everything).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for (name, f) in &other.functions {
+            let e = self.functions.entry(name.clone()).or_insert_with(|| FnProfile {
+                name: name.clone(),
+                calls: 0,
+                incl_nanos: 0,
+                excl_nanos: 0,
+            });
+            e.calls += f.calls;
+            e.incl_nanos += f.incl_nanos;
+            e.excl_nanos += f.excl_nanos;
+        }
+        for (op, n) in &other.opcodes {
+            *self.opcodes.entry(op.clone()).or_insert(0) += n;
+        }
+        for (path, w) in &other.folded {
+            *self.folded.entry(path.clone()).or_insert(0) += w;
+        }
+        self.serial.merge(&other.serial);
+    }
+
+    /// Sum of exclusive nanos over all functions. By construction this
+    /// equals [`ProfileReport::total_folded_nanos`]: each closed frame
+    /// segment is attributed to exactly one function *and* one folded
+    /// path.
+    pub fn total_exclusive_nanos(&self) -> u64 {
+        self.functions.values().map(|f| f.excl_nanos).sum()
+    }
+
+    /// Sum of folded-stack weights.
+    pub fn total_folded_nanos(&self) -> u64 {
+        self.folded.values().sum()
+    }
+
+    /// Total opcodes executed.
+    pub fn total_opcodes(&self) -> u64 {
+        self.opcodes.values().sum()
+    }
+
+    /// Flamegraph folded format: one `path weight` line per stack,
+    /// sorted by path. Feed to `flamegraph.pl` (or any folded-stack
+    /// consumer); zero-weight stacks are skipped.
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        for (path, w) in &self.folded {
+            if *w > 0 {
+                let _ = writeln!(out, "{path} {w}");
+            }
+        }
+        out
+    }
+
+    /// The `n` hottest functions by exclusive time, as an aligned text
+    /// table with a totals row.
+    pub fn top_functions(&self, n: usize) -> String {
+        let mut fns: Vec<&FnProfile> = self.functions.values().collect();
+        fns.sort_by(|a, b| b.excl_nanos.cmp(&a.excl_nanos).then(a.name.cmp(&b.name)));
+        fns.truncate(n);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>14} {:>14}",
+            "function", "calls", "incl µs", "excl µs"
+        );
+        for f in &fns {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>10} {:>14.1} {:>14.1}",
+                truncate_name(&f.name, 32),
+                f.calls,
+                f.incl_nanos as f64 / 1_000.0,
+                f.excl_nanos as f64 / 1_000.0,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>14} {:>14.1}",
+            format!("total ({} functions)", self.functions.len()),
+            "",
+            "",
+            self.total_exclusive_nanos() as f64 / 1_000.0,
+        );
+        out
+    }
+
+    /// Full human-readable report: hot functions, opcode mix, and
+    /// continuation costs.
+    pub fn render(&self, top_n: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== hot functions (by exclusive time) ==");
+        out.push_str(&self.top_functions(top_n));
+        let _ = writeln!(out, "\n== opcodes ({} executed) ==", self.total_opcodes());
+        let mut ops: Vec<(&String, &u64)> = self.opcodes.iter().filter(|(_, n)| **n > 0).collect();
+        ops.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (op, n) in ops {
+            let _ = writeln!(out, "{op:<16} {n:>12}");
+        }
+        let s = &self.serial;
+        let _ = writeln!(out, "\n== continuation costs ==");
+        let _ = writeln!(
+            out,
+            "serialize:   {} snapshot(s), {} bytes, {:.1}µs total{}",
+            s.serialize_count,
+            s.serialize_bytes,
+            s.serialize_nanos as f64 / 1_000.0,
+            match s.min_serialize_nanos {
+                Some(m) => format!(" (min {m}ns)"),
+                None => String::new(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "deserialize: {} snapshot(s), {} bytes, {:.1}µs total",
+            s.deserialize_count,
+            s.deserialize_bytes,
+            s.deserialize_nanos as f64 / 1_000.0,
+        );
+        out
+    }
+}
+
+fn truncate_name(name: &str, max: usize) -> String {
+    if name.len() <= max {
+        name.to_string()
+    } else {
+        format!("{}…", &name[..name.len().min(max - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ProfileReport {
+        let mut r = ProfileReport::default();
+        r.functions.insert(
+            "main".into(),
+            FnProfile {
+                name: "main".into(),
+                calls: 1,
+                incl_nanos: 10_000,
+                excl_nanos: 4_000,
+            },
+        );
+        r.functions.insert(
+            "helper".into(),
+            FnProfile {
+                name: "helper".into(),
+                calls: 3,
+                incl_nanos: 6_000,
+                excl_nanos: 6_000,
+            },
+        );
+        r.opcodes.insert("call".into(), 4);
+        r.opcodes.insert("return".into(), 4);
+        r.folded.insert("main".into(), 4_000);
+        r.folded.insert("main;helper".into(), 6_000);
+        r
+    }
+
+    #[test]
+    fn folded_output_matches_flamegraph_format() {
+        let r = sample_report();
+        assert_eq!(r.folded_stacks(), "main 4000\nmain;helper 6000\n");
+        assert_eq!(r.total_folded_nanos(), r.total_exclusive_nanos());
+    }
+
+    #[test]
+    fn top_functions_sorts_by_exclusive_and_includes_totals() {
+        let r = sample_report();
+        let table = r.top_functions(10);
+        let helper_at = table.find("helper").unwrap();
+        let main_at = table.find("main").unwrap();
+        assert!(helper_at < main_at, "helper (6µs excl) ranks above main");
+        assert!(table.contains("total (2 functions)"));
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = sample_report();
+        let b = sample_report();
+        a.merge(&b);
+        assert_eq!(a.functions["helper"].calls, 6);
+        assert_eq!(a.folded["main;helper"], 12_000);
+        assert_eq!(a.opcodes["call"], 8);
+    }
+
+    #[test]
+    fn serial_costs_track_min_nonzero() {
+        let c = SerialCosts::new();
+        assert_eq!(c.snapshot().min_serialize_nanos, None);
+        c.record_serialize(100, 500);
+        c.record_serialize(80, 300);
+        c.record_deserialize(100, 200);
+        let s = c.snapshot();
+        assert_eq!(s.serialize_count, 2);
+        assert_eq!(s.serialize_bytes, 180);
+        assert_eq!(s.min_serialize_nanos, Some(300));
+        assert_eq!(s.deserialize_count, 1);
+        let mut merged = SerialCostSnapshot::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.serialize_count, 4);
+        assert_eq!(merged.min_serialize_nanos, Some(300));
+    }
+}

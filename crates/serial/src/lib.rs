@@ -147,6 +147,47 @@ pub fn deserialize_state(bytes: &[u8], gvm: &Arc<Gvm>) -> Result<FiberState, Ser
     r.read_state()
 }
 
+/// Cost of one continuation (de)serialization, as measured by the
+/// `*_costed` entry points: envelope bytes on the wire and wall nanos
+/// spent encoding or decoding. `nanos` is clamped to at least 1 so a
+/// recorded sample is always distinguishable from "never measured".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostSample {
+    /// Envelope size in bytes.
+    pub bytes: u64,
+    /// Wall time of the operation, nanoseconds (≥ 1).
+    pub nanos: u64,
+}
+
+/// [`serialize_state`] plus a [`CostSample`] for the profiler's
+/// continuation-cost accounting.
+pub fn serialize_state_costed(
+    state: &FiberState,
+    codec: Codec,
+) -> Result<(Vec<u8>, CostSample), SerError> {
+    let start = std::time::Instant::now();
+    let bytes = serialize_state(state, codec)?;
+    let sample = CostSample {
+        bytes: bytes.len() as u64,
+        nanos: (start.elapsed().as_nanos() as u64).max(1),
+    };
+    Ok((bytes, sample))
+}
+
+/// [`deserialize_state`] plus a [`CostSample`].
+pub fn deserialize_state_costed(
+    bytes: &[u8],
+    gvm: &Arc<Gvm>,
+) -> Result<(FiberState, CostSample), SerError> {
+    let start = std::time::Instant::now();
+    let state = deserialize_state(bytes, gvm)?;
+    let sample = CostSample {
+        bytes: bytes.len() as u64,
+        nanos: (start.elapsed().as_nanos() as u64).max(1),
+    };
+    Ok((state, sample))
+}
+
 fn envelope(codec: Codec, payload: Vec<u8>) -> Vec<u8> {
     let body = codec.compress(&payload);
     let mut out = Vec::with_capacity(body.len() + 4);

@@ -69,5 +69,6 @@ pub use service::{
     WorkflowServiceBuilder,
 };
 pub use store::{FileStore, MemStore, StateStore, StoreError};
+pub use gozer_obs::{FlightDump, FlightRecorder, FnProfile, ProfileReport, SerialCostSnapshot};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use tracker::{TaskRecord, TaskStatus, TaskTracker};

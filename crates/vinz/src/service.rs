@@ -18,8 +18,13 @@ use std::time::{Duration, Instant};
 use bluebox::{Cluster, Fault, Message, ServiceCtx};
 use gozer_compress::Codec;
 use gozer_lang::Value;
-use gozer_obs::{Event, EventKind, Obs, Snapshot, TimelineSet};
-use gozer_serial::{deserialize_state, deserialize_value, serialize_state, serialize_value};
+use gozer_obs::{
+    Event, EventKind, FlightDump, FlightRecorder, FnProfile, Obs, ProfileReport, SerialCosts,
+    Snapshot, TimelineSet,
+};
+use gozer_serial::{
+    deserialize_state_costed, deserialize_value, serialize_state_costed, serialize_value,
+};
 use gozer_vm::{Condition, FiberObsEvent, FiberObsKind, FiberState, Gvm, RunOutcome, Unwind, VmError};
 use parking_lot::RwLock;
 
@@ -52,6 +57,12 @@ pub struct VinzConfig {
     pub awake_wait_limit: Duration,
     /// Future-pool workers per node GVM.
     pub future_pool_size: usize,
+    /// Enable the GVM execution profiler on every node runtime
+    /// (per-opcode counts, per-function time attribution, folded
+    /// stacks). Off by default; continuation serialize/deserialize
+    /// costs are tracked regardless because they are a handful of
+    /// atomic adds per persist.
+    pub profiling: bool,
 }
 
 impl Default for VinzConfig {
@@ -64,6 +75,7 @@ impl Default for VinzConfig {
             fiber_lock_timeout: Duration::from_secs(10),
             awake_wait_limit: Duration::from_millis(50),
             future_pool_size: 2,
+            profiling: false,
         }
     }
 }
@@ -125,6 +137,7 @@ pub(crate) struct Inner {
     pub obs: Arc<Obs>,
     pub trace: Trace,
     pub metrics: Arc<VinzMetrics>,
+    pub serial_costs: Arc<SerialCosts>,
     nodes: RwLock<HashMap<u32, Arc<NodeRuntime>>>,
     next_task: AtomicU64,
     next_fiber: AtomicU64,
@@ -184,6 +197,14 @@ impl WorkflowServiceBuilder {
         self
     }
 
+    /// Enable (or disable) the GVM execution profiler on every node
+    /// runtime of this deployment. Shorthand for setting
+    /// [`VinzConfig::profiling`].
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.config.profiling = on;
+        self
+    }
+
     /// Compile the source, register the service on the cluster, and
     /// spawn any requested instances.
     ///
@@ -206,6 +227,7 @@ impl WorkflowServiceBuilder {
             trace: Trace::over(obs.clone()),
             obs,
             metrics,
+            serial_costs: Arc::new(SerialCosts::new()),
             nodes: RwLock::new(HashMap::new()),
             next_task: AtomicU64::new(1),
             next_fiber: AtomicU64::new(1),
@@ -237,27 +259,6 @@ impl WorkflowService {
             config: VinzConfig::default(),
             instances: Vec::new(),
         }
-    }
-
-    /// Deploy `source` as the workflow service `name` on `cluster`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `WorkflowService::builder(&cluster, name).source(src).store(..).locks(..).config(..).deploy()`"
-    )]
-    pub fn deploy(
-        cluster: &Arc<Cluster>,
-        name: &str,
-        source: &str,
-        store: Arc<dyn StateStore>,
-        locks: Arc<dyn LockManager>,
-        config: VinzConfig,
-    ) -> Result<WorkflowService, VinzError> {
-        WorkflowService::builder(cluster, name)
-            .source(source)
-            .store(store)
-            .locks(locks)
-            .config(config)
-            .deploy()
     }
 
     /// Spawn service instances on a node (threads competing for this
@@ -351,30 +352,6 @@ impl WorkflowService {
         }
     }
 
-    /// The lifetime trace.
-    #[deprecated(since = "0.1.0", note = "use `obs().trace_view()` (or `obs().timelines()`)")]
-    pub fn trace(&self) -> &Trace {
-        &self.inner.trace
-    }
-
-    /// Toggle lifetime tracing.
-    #[deprecated(since = "0.1.0", note = "use `obs().set_tracing(on)`")]
-    pub fn set_tracing(&self, on: bool) {
-        self.inner.trace.set_enabled(on);
-    }
-
-    /// Vinz metrics.
-    #[deprecated(since = "0.1.0", note = "use `obs().counters()`")]
-    pub fn metrics(&self) -> &VinzMetrics {
-        &self.inner.metrics
-    }
-
-    /// Task tracker (records, durations, fiber counts).
-    #[deprecated(since = "0.1.0", note = "use `obs().tracker()`")]
-    pub fn tracker(&self) -> &TaskTracker {
-        &self.inner.tracker
-    }
-
     /// Per-node runtimes created so far (for cache statistics).
     pub fn node_runtimes(&self) -> Vec<Arc<NodeRuntime>> {
         self.inner
@@ -466,9 +443,41 @@ impl WorkflowObs {
         self.inner.obs.registry.snapshot()
     }
 
+    /// The merged execution profile: per-function call / inclusive /
+    /// exclusive totals and opcode counts from every node VM's
+    /// profiler, folded stacks for flamegraphs, and the continuation
+    /// serialize/deserialize costs. Function/opcode data is empty
+    /// unless the deployment enabled
+    /// [`WorkflowServiceBuilder::profiling`]; continuation costs are
+    /// tracked always.
+    pub fn profile(&self) -> ProfileReport {
+        self.inner.profile_report()
+    }
+
+    /// The crash black box. Arm it with a base directory
+    /// (`flight().arm(dir)`) and every task failure writes a dump
+    /// directory there; unarmed (the default) it costs nothing.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.obs.flight
+    }
+
+    /// Assemble (without writing) a flight dump of the current state:
+    /// event ring, timelines, metrics text, and — when profiling is on
+    /// — the merged profile. The chaos harness and the panic hook
+    /// record these through [`WorkflowObs::flight`].
+    pub fn flight_dump(&self, reason: &str) -> FlightDump {
+        self.inner.flight_dump(reason)
+    }
+
     /// The underlying shared observability handle (bus + registry).
     pub fn handle(&self) -> Arc<Obs> {
         self.inner.obs.clone()
+    }
+
+    /// Weak handle for the panic hook registry (must not keep a dropped
+    /// deployment alive).
+    pub(crate) fn inner_weak(&self) -> Weak<Inner> {
+        Arc::downgrade(&self.inner)
     }
 }
 
@@ -589,6 +598,13 @@ impl Inner {
                 obs.bus
                     .emit(Event::new(kind).node(node_id).task_opt(task).fiber_opt(fiber));
             })));
+            // Profiling is enabled only now, after the prelude and the
+            // workflow source have loaded: load-time opcode execution
+            // would otherwise drown the workflow's own opcode mix (and
+            // vary with source size rather than behaviour).
+            if self.config.profiling {
+                gvm.profiler().set_enabled(true);
+            }
         }
         let rt = Arc::new(NodeRuntime {
             node_id,
@@ -597,6 +613,62 @@ impl Inner {
         });
         let mut nodes = self.nodes.write();
         Ok(nodes.entry(node_id).or_insert(rt).clone())
+    }
+
+    // ---- profiling / flight recorder ------------------------------------
+
+    /// Merge every node VM's profiler snapshot, plus the continuation
+    /// costs, into one [`ProfileReport`]. The admin runtime is skipped
+    /// (it never executes workflow fibers, and its profiler is never
+    /// enabled).
+    pub(crate) fn profile_report(&self) -> ProfileReport {
+        let mut report = ProfileReport::default();
+        for rt in self.nodes.read().values() {
+            if rt.node_id == ADMIN_NODE {
+                continue;
+            }
+            let snap = rt.gvm.profiler().snapshot();
+            let mut part = ProfileReport::default();
+            for (name, count) in snap.opcodes {
+                if count > 0 {
+                    *part.opcodes.entry(name).or_insert(0) += count;
+                }
+            }
+            for f in snap.functions {
+                part.functions.insert(
+                    f.name.clone(),
+                    FnProfile {
+                        name: f.name,
+                        calls: f.calls,
+                        incl_nanos: f.incl_nanos,
+                        excl_nanos: f.excl_nanos,
+                    },
+                );
+            }
+            for (path, weight) in snap.folded {
+                *part.folded.entry(path).or_insert(0) += weight;
+            }
+            report.merge(&part);
+        }
+        report.serial = self.serial_costs.snapshot();
+        report
+    }
+
+    /// Assemble a flight dump of the current state.
+    pub(crate) fn flight_dump(&self, reason: &str) -> FlightDump {
+        let events = self.obs.bus.snapshot();
+        let timelines = TimelineSet::build(&events).render();
+        FlightDump {
+            reason: reason.to_string(),
+            timelines,
+            metrics: self.obs.registry.render_text(),
+            profile: if self.config.profiling {
+                Some(self.profile_report())
+            } else {
+                None
+            },
+            events,
+        }
     }
 
     // ---- id helpers ----------------------------------------------------
@@ -659,8 +731,9 @@ impl Inner {
         fiber_id: &str,
         state: FiberState,
     ) -> Result<(), VinzError> {
-        let bytes = serialize_state(&state, self.config.codec)
+        let (bytes, cost) = serialize_state_costed(&state, self.config.codec)
             .map_err(|e| VinzError(format!("persist {fiber_id}: {e}")))?;
+        self.serial_costs.record_serialize(cost.bytes, cost.nanos);
         let version = self.fiber_version(fiber_id)? + 1;
         self.store
             .put(&format!("fiber/{fiber_id}"), &bytes)
@@ -706,8 +779,9 @@ impl Inner {
             .get(&format!("fiber/{fiber_id}"))
             .map_err(|e| VinzError(e.to_string()))?
             .ok_or_else(|| VinzError(format!("fiber {fiber_id} has no persisted state")))?;
-        let state = deserialize_state(&bytes, &rt.gvm)
+        let (state, cost) = deserialize_state_costed(&bytes, &rt.gvm)
             .map_err(|e| VinzError(format!("load {fiber_id}: {e}")))?;
+        self.serial_costs.record_deserialize(cost.bytes, cost.nanos);
         rt.cache.put_fiber(fiber_id, version, state.clone());
         self.metrics.load_count.fetch_add(1, Ordering::Relaxed);
         self.trace.record(
@@ -1194,6 +1268,14 @@ impl Inner {
                     fiber_id,
                     TraceKind::TaskDone("failed".into()),
                 );
+                // Black box: capture the failure context before the
+                // tracker wakes any waiting client (who may tear the
+                // deployment down immediately).
+                if self.obs.flight.is_armed() {
+                    let dump =
+                        self.flight_dump(&format!("task {task_id} failed at {fiber_id}: {cond}"));
+                    let _ = self.obs.flight.record(&format!("{task_id}-failed"), &dump);
+                }
                 self.tracker.finish(&task_id, TaskStatus::Failed(cond));
             }
         }

@@ -2,17 +2,19 @@
 //! serialized Gozer values — stand-ins for the platform services a
 //! production workflow calls (security managers, pricing engines, ...).
 
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex as StdMutex, Once, Weak};
 use std::time::{Duration, Instant};
 
 use bluebox::{Cluster, Fault, Message, ServiceCtx};
 use gozer_compress::Codec;
 use gozer_lang::Value;
+use gozer_obs::ProfileReport;
 use gozer_serial::{deserialize_value, serialize_value};
 use gozer_vm::Gvm;
 use gozer_xml::ServiceDescription;
 
-use crate::service::WorkflowService;
+use crate::service::{WorkflowObs, WorkflowService};
 use crate::TaskStatus;
 
 pub use bluebox::chaos::{
@@ -115,6 +117,10 @@ pub struct ChaosRun {
     /// recovery step — disarm the plan, spawn fresh instances, resume
     /// from persisted continuations — to finish.
     pub recovered: bool,
+    /// The merged execution profile of the run (the harness deploys
+    /// with profiling on, so a sweep can assert opcode and call counts
+    /// are schedule-independent).
+    pub profile: ProfileReport,
 }
 
 /// Deploy `source` on a fresh 2-node cluster, run
@@ -132,6 +138,21 @@ pub fn run_workflow_under_chaos(
     args: Vec<Value>,
     config: ChaosConfig,
 ) -> Result<ChaosRun, String> {
+    let flight_base = std::env::var_os("GOZER_FLIGHT_DIR").map(PathBuf::from);
+    run_workflow_under_chaos_flight(source, function, args, config, flight_base)
+}
+
+/// [`run_workflow_under_chaos`] with an explicit flight-recorder base
+/// directory: when `Some`, the deployment's recorder is armed there, so
+/// a task failure or a contract violation leaves a complete black-box
+/// dump behind (events, timelines, metrics, profile).
+pub fn run_workflow_under_chaos_flight(
+    source: &str,
+    function: &str,
+    args: Vec<Value>,
+    config: ChaosConfig,
+    flight_base: Option<PathBuf>,
+) -> Result<ChaosRun, String> {
     const SERVICE: &str = "workflow";
     let seed = config.seed;
     let cluster = Cluster::new();
@@ -141,11 +162,15 @@ pub fn run_workflow_under_chaos(
         .source(source)
         .instances(0, 2)
         .instances(1, 2)
+        .profiling(true)
         .deploy()
         .map_err(|e| format!("seed {seed}: deploy failed: {e}"))?;
     // Record the full event stream so a failing seed can print the
     // task's causal timeline, injected faults included.
     workflow.obs().set_tracing(true);
+    if let Some(base) = flight_base {
+        workflow.obs().flight().arm(base);
+    }
     let task = workflow
         .start(function, args, None)
         .map_err(|e| format!("seed {seed}: start failed: {e}"))?;
@@ -176,32 +201,112 @@ pub fn run_workflow_under_chaos(
     }
 
     let stats = plan.snapshot();
-    // Capture the causal timeline before shutdown so failure messages
-    // can show exactly which operations and injected faults the task
-    // went through (the Figure-1 view, chaos edition).
+    // Drain stragglers before reading the profile: a chaos-duplicated
+    // Start spawns a second task whose execution would otherwise race
+    // the snapshot, making per-seed profile comparisons flaky. Wait for
+    // the tracker to hold only final records and stay that way across a
+    // few polls (a queued duplicate Start registers its record well
+    // within the stability window on a live cluster).
+    {
+        let obs = workflow.obs();
+        let drain = Instant::now();
+        let mut stable = 0u32;
+        let mut last_count = usize::MAX;
+        while drain.elapsed() < Duration::from_secs(10) && stable < 3 {
+            let records = obs.tracker().all();
+            if records.len() == last_count && records.iter().all(|r| r.status.is_final()) {
+                stable += 1;
+            } else {
+                stable = 0;
+            }
+            last_count = records.len();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    // Capture the causal timeline and the profile before shutdown so
+    // failure messages can show exactly which operations and injected
+    // faults the task went through (the Figure-1 view, chaos edition).
     let timeline = workflow
         .obs()
         .timeline(&task)
         .unwrap_or_else(|| "<no timeline recorded>".to_string());
-    cluster.shutdown();
-    let record = record.ok_or_else(|| {
-        format!(
+    let profile = workflow.obs().profile();
+    // A contract violation dumps the black box (when armed) before the
+    // diagnostics are returned: the sweep's assertion message then
+    // points at a directory with the full post-mortem.
+    let violation = |msg: String| -> String {
+        let obs = workflow.obs();
+        if obs.flight().is_armed() {
+            let dump = obs.flight_dump(&msg);
+            if let Ok(Some(dir)) = obs.flight().record(&format!("chaos-seed-{seed}"), &dump) {
+                return format!("{msg}\nflight dump: {}", dir.display());
+            }
+        }
+        msg
+    };
+    let Some(record) = record else {
+        let msg = violation(format!(
             "seed {seed}: task neither completed nor became resumable \
              (recovered={recovered}, faults={stats:?})\n{timeline}"
-        )
-    })?;
+        ));
+        cluster.shutdown();
+        return Err(msg);
+    };
     match record.status {
-        TaskStatus::Completed(value) => Ok(ChaosRun {
-            seed,
-            value,
-            stats,
-            recovered,
-        }),
-        other => Err(format!(
-            "seed {seed}: task ended {other:?} instead of completing \
-             (recovered={recovered}, faults={stats:?})\n{timeline}"
-        )),
+        TaskStatus::Completed(value) => {
+            cluster.shutdown();
+            Ok(ChaosRun {
+                seed,
+                value,
+                stats,
+                recovered,
+                profile,
+            })
+        }
+        other => {
+            let msg = violation(format!(
+                "seed {seed}: task ended {other:?} instead of completing \
+                 (recovered={recovered}, faults={stats:?})\n{timeline}"
+            ));
+            cluster.shutdown();
+            Err(msg)
+        }
     }
+}
+
+// ---- panic flight dumps ----------------------------------------------
+
+/// Observability handles whose flight recorders should fire on panic.
+/// `Weak` so a registered deployment can still be dropped normally.
+static PANIC_DUMPERS: StdMutex<Vec<Weak<crate::service::Inner>>> = StdMutex::new(Vec::new());
+static PANIC_HOOK: Once = Once::new();
+
+/// Install (once) a chained panic hook that writes a flight dump for
+/// every registered deployment whose recorder is armed, then defers to
+/// the previous hook. Call it per deployment; registration is additive
+/// and the process-wide hook is installed on the first call.
+pub fn install_flight_panic_hook(obs: &WorkflowObs) {
+    if let Ok(mut dumpers) = PANIC_DUMPERS.lock() {
+        dumpers.retain(|w| w.strong_count() > 0);
+        dumpers.push(obs.inner_weak());
+    }
+    PANIC_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let reason = format!("panic: {info}");
+            if let Ok(dumpers) = PANIC_DUMPERS.lock() {
+                for weak in dumpers.iter() {
+                    if let Some(inner) = weak.upgrade() {
+                        if inner.obs.flight.is_armed() {
+                            let dump = inner.flight_dump(&reason);
+                            let _ = inner.obs.flight.record("panic", &dump);
+                        }
+                    }
+                }
+            }
+            previous(info);
+        }));
+    });
 }
 
 #[cfg(test)]

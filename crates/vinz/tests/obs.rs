@@ -230,6 +230,7 @@ fn exporter_serves_required_families_after_a_run() {
         "vinz_tasks_started_total",
         "vinz_fibers_run_total",
         "vinz_fiber_persists_total",
+        "gozer_events_dropped_total",
     ] {
         assert!(
             text.contains(&format!("# TYPE {family}")),

@@ -31,6 +31,14 @@ pub struct Frame {
     pub captures: Arc<Vec<Value>>,
 }
 
+impl Frame {
+    /// Name of the function this frame is executing (its chunk's name) —
+    /// what backtraces and the profiler display.
+    pub fn fn_name(&self) -> &str {
+        &self.program.chunk(self.chunk).name
+    }
+}
+
 /// An established condition handler (dynamic extent).
 #[derive(Debug, Clone)]
 pub struct HandlerEntry {

@@ -128,6 +128,8 @@ pub struct Gvm {
     /// Optional fiber suspend/resume observer (the VM leg of the
     /// observability layer).
     fiber_observer: RwLock<Option<FiberObserver>>,
+    /// The execution profiler (always present, disabled by default).
+    profiler: Arc<crate::profile::VmProfiler>,
 }
 
 impl Gvm {
@@ -157,6 +159,7 @@ impl Gvm {
             rng: Mutex::new(0x9E3779B97F4A7C15),
             futures_enabled: AtomicBool::new(true),
             fiber_observer: RwLock::new(None),
+            profiler: Arc::new(crate::profile::VmProfiler::default()),
         });
         crate::natives::install(&gvm);
         gvm.load_str(crate::natives::PRELUDE, "prelude")
@@ -167,6 +170,13 @@ impl Gvm {
     /// The future pool.
     pub fn pool(&self) -> &Arc<ThreadPool> {
         &self.pool
+    }
+
+    /// The execution profiler. Enable with
+    /// `gvm.profiler().set_enabled(true)`; disabled it costs one atomic
+    /// load per interpreter activation plus an `Option` test per step.
+    pub fn profiler(&self) -> &Arc<crate::profile::VmProfiler> {
+        &self.profiler
     }
 
     // ---- globals / macros / programs --------------------------------

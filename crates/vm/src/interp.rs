@@ -24,6 +24,7 @@ use crate::conditions::Condition;
 use crate::error::{Unwind, VmError, VmResult};
 use crate::fiber::{DynState, FiberExt, FiberState, Frame, HandlerEntry, RestartEntry};
 use crate::gvm::{Gvm, NativeCtx};
+use crate::profile::ProfScope;
 use crate::runtime::{determine_deep, force, force_all, Closure, ContinuationVal, NativeFn, NativeOutcome};
 
 /// Result of the interpreter loop.
@@ -60,11 +61,22 @@ pub(crate) fn interp(
             .ok_or_else(|| VmError::msg("cannot resume a finished fiber"))?;
         f.stack.push(v);
     }
+    // One enabled check per activation; a disabled profiler costs an
+    // `Option` test per step from here on. Dropping the scope (any exit
+    // path) attributes whatever is still open.
+    let mut prof = gvm.profiler().scope(frames);
     loop {
-        match step(gvm, frames, ds, ids, ext, nested) {
+        match step(gvm, frames, ds, ids, ext, nested, &mut prof) {
             Ok(Flow::Continue) => {}
             Ok(Flow::Done(v)) => return Ok(InterpOutcome::Done(v)),
             Ok(Flow::Suspend(payload)) => {
+                // Close timing segments *before* the determination wait
+                // below: time blocked on futures (whose bodies profile
+                // under their own activations) is not charged here, just
+                // like the suspended interval that follows.
+                if let Some(p) = prof.as_mut() {
+                    p.suspend_closeout();
+                }
                 // §4.1: the continuation only becomes available once every
                 // future it references is determined.
                 determine_frames(frames)?;
@@ -73,6 +85,9 @@ pub(crate) fn interp(
             Err(e) => {
                 if !try_restart_transfer(&e, frames, ds)? {
                     return Err(e);
+                }
+                if let Some(p) = prof.as_mut() {
+                    p.on_truncate(frames.len());
                 }
             }
         }
@@ -121,6 +136,7 @@ fn step(
     ids: &mut u64,
     ext: &mut FiberExt,
     nested: bool,
+    prof: &mut Option<ProfScope<'_>>,
 ) -> VmResult<Flow> {
     let op = {
         let f = frames
@@ -132,6 +148,9 @@ fn step(
         f.pc += 1;
         op
     };
+    if let Some(p) = prof.as_ref() {
+        p.count_op(&op);
+    }
     match op {
         Op::Const(i) => {
             let v = {
@@ -221,6 +240,13 @@ fn step(
             loop {
                 if callee.as_callable::<Closure>().is_some() {
                     let frame = frame_for_closure(gvm, ds, ids, ext, &callee, args)?;
+                    if let Some(p) = prof.as_mut() {
+                        if tail {
+                            p.on_tail_call(&frame);
+                        } else {
+                            p.on_push(&frame);
+                        }
+                    }
                     if tail {
                         *top(frames) = frame;
                     } else {
@@ -261,6 +287,9 @@ fn step(
                             *ds = state.dyn_state;
                             *ids = state.next_restart_id;
                             *ext = state.ext;
+                            if let Some(p) = prof.as_mut() {
+                                p.on_replace(frames);
+                            }
                             top(frames).stack.push(value);
                             return Ok(Flow::Continue);
                         }
@@ -276,6 +305,9 @@ fn step(
             }
         }
         Op::Return => {
+            if let Some(p) = prof.as_mut() {
+                p.on_return();
+            }
             let mut f = frames.pop().ok_or_else(|| VmError::msg("return from nothing"))?;
             let v = f
                 .stack

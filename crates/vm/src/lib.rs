@@ -46,6 +46,7 @@ pub mod gvm;
 pub mod interp;
 pub mod natives;
 pub mod pool;
+pub mod profile;
 pub mod runtime;
 
 pub use bytecode::{disassemble, fnv1a64, Chunk, Op, Program, ProgramRef};
@@ -56,4 +57,5 @@ pub use fiber::{DynState, FiberExt, FiberState, Frame, RunOutcome, Suspension};
 pub use gvm::{FiberObsEvent, FiberObsKind, FiberObserver, Gvm, GvmHost, NativeCtx};
 pub use natives::ObjectVal;
 pub use pool::ThreadPool;
+pub use profile::{FnCounts, VmProfileSnapshot, VmProfiler, OPCODE_COUNT, OPCODE_NAMES};
 pub use runtime::{force, Closure, ContinuationVal, FutureVal, NativeFn, NativeOutcome};

@@ -1,0 +1,477 @@
+//! Low-overhead GVM execution profiler.
+//!
+//! Sampling-free, atomic-counter instrumentation of the interpreter:
+//! per-opcode execution counts and per-function call / inclusive /
+//! exclusive wall-time attribution. The profiler is wired into every
+//! interpreter activation but costs one relaxed atomic load when
+//! disabled — `Gvm::profiler().scope(..)` returns `None` and the step
+//! loop only ever tests an `Option`.
+//!
+//! **Suspension is excluded by construction.** Timing is kept on a
+//! shadow stack (one [`TimingEntry`] per live frame) whose clocks exist
+//! only while an activation is running: when a fiber suspends at
+//! `yield`, every open entry's elapsed segment is attributed and the
+//! scope is dropped; when the continuation is later resumed — possibly
+//! after serialize/ship/deserialize on another node — a fresh scope
+//! re-seeds entries with `start = now`. Time spent suspended, persisted
+//! or in transit is therefore never charged to any function, while
+//! calls are counted only once (at frame entry, `pc == 0`).
+//!
+//! Exclusive time of a function includes time spent in native calls it
+//! makes (the VM does not model native frames); a native that re-enters
+//! the interpreter (handlers, macros, future bodies) is profiled again
+//! under its own root, so nested activations show up as separate stacks
+//! in the folded output.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::bytecode::Op;
+use crate::fiber::Frame;
+
+/// Number of opcode kinds (the `Op` enum's variant count).
+pub const OPCODE_COUNT: usize = 27;
+
+/// Display names, indexed by [`opcode_index`].
+pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+    "const",
+    "nil",
+    "true",
+    "pop",
+    "dup",
+    "load-local",
+    "store-local",
+    "load-capture",
+    "load-global",
+    "store-global",
+    "def-global",
+    "jump",
+    "jump-if-false",
+    "jump-if-true",
+    "call",
+    "tail-call",
+    "return",
+    "make-closure",
+    "make-list",
+    "make-vector",
+    "make-map",
+    "yield",
+    "push-cc",
+    "push-handler",
+    "pop-handlers",
+    "push-restart",
+    "pop-restarts",
+];
+
+/// Dense index of an opcode into the counter array.
+pub(crate) fn opcode_index(op: &Op) -> usize {
+    match op {
+        Op::Const(_) => 0,
+        Op::Nil => 1,
+        Op::True => 2,
+        Op::Pop => 3,
+        Op::Dup => 4,
+        Op::LoadLocal(_) => 5,
+        Op::StoreLocal(_) => 6,
+        Op::LoadCapture(_) => 7,
+        Op::LoadGlobal(_) => 8,
+        Op::StoreGlobal(_) => 9,
+        Op::DefGlobal(_) => 10,
+        Op::Jump(_) => 11,
+        Op::JumpIfFalse(_) => 12,
+        Op::JumpIfTrue(_) => 13,
+        Op::Call(_) => 14,
+        Op::TailCall(_) => 15,
+        Op::Return => 16,
+        Op::MakeClosure(_) => 17,
+        Op::MakeList(_) => 18,
+        Op::MakeVector(_) => 19,
+        Op::MakeMap(_) => 20,
+        Op::Yield => 21,
+        Op::PushCC => 22,
+        Op::PushHandler => 23,
+        Op::PopHandlers(_) => 24,
+        Op::PushRestart { .. } => 25,
+        Op::PopRestarts(_) => 26,
+    }
+}
+
+/// Per-function accumulators. One per (program id, chunk index); shared
+/// across all fibers and threads of the owning VM.
+struct FnStat {
+    name: Arc<str>,
+    calls: AtomicU64,
+    incl_nanos: AtomicU64,
+    excl_nanos: AtomicU64,
+}
+
+/// Per-function totals, as exported by [`VmProfiler::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnCounts {
+    /// Function (chunk) name.
+    pub name: String,
+    /// Frame entries (calls + tail calls); resumed frames are not
+    /// re-counted.
+    pub calls: u64,
+    /// Wall nanos while the function's frame was live and the fiber was
+    /// actually running (suspended intervals excluded).
+    pub incl_nanos: u64,
+    /// Inclusive minus time spent in Gozer callees.
+    pub excl_nanos: u64,
+}
+
+/// Point-in-time export of a profiler's counters.
+#[derive(Debug, Clone, Default)]
+pub struct VmProfileSnapshot {
+    /// `(opcode name, executed count)`, in [`OPCODE_NAMES`] order.
+    pub opcodes: Vec<(String, u64)>,
+    /// Per-function totals, merged by name, sorted by name.
+    pub functions: Vec<FnCounts>,
+    /// Folded call stacks (`root;child;leaf` → exclusive nanos), sorted
+    /// by path.
+    pub folded: Vec<(String, u64)>,
+}
+
+/// The per-VM profiler. Always present on a [`crate::Gvm`]; disabled by
+/// default.
+pub struct VmProfiler {
+    enabled: AtomicBool,
+    opcodes: [AtomicU64; OPCODE_COUNT],
+    fns: RwLock<HashMap<(u64, u32), Arc<FnStat>>>,
+    folded: Mutex<HashMap<Arc<str>, u64>>,
+}
+
+impl Default for VmProfiler {
+    fn default() -> VmProfiler {
+        VmProfiler {
+            enabled: AtomicBool::new(false),
+            opcodes: std::array::from_fn(|_| AtomicU64::new(0)),
+            fns: RwLock::new(HashMap::new()),
+            folded: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl VmProfiler {
+    /// Turn collection on or off. Takes effect at the next interpreter
+    /// activation (scopes already open keep collecting).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether collection is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Zero every counter (the enabled flag is left alone).
+    pub fn reset(&self) {
+        for c in &self.opcodes {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.fns.write().clear();
+        self.folded.lock().clear();
+    }
+
+    /// Begin profiling one interpreter activation over `frames`, or
+    /// `None` when disabled — the per-step cost in that case is a single
+    /// `Option` test.
+    pub(crate) fn scope<'p>(&'p self, frames: &[Frame]) -> Option<ProfScope<'p>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let mut scope = ProfScope {
+            prof: self,
+            stack: Vec::with_capacity(frames.len().max(8)),
+            local_folded: HashMap::new(),
+        };
+        scope.seed(frames);
+        Some(scope)
+    }
+
+    fn stat_for(&self, frame: &Frame) -> Arc<FnStat> {
+        let key = (frame.program.id, frame.chunk);
+        if let Some(s) = self.fns.read().get(&key) {
+            return s.clone();
+        }
+        let mut w = self.fns.write();
+        w.entry(key)
+            .or_insert_with(|| {
+                Arc::new(FnStat {
+                    name: Arc::from(frame.fn_name()),
+                    calls: AtomicU64::new(0),
+                    incl_nanos: AtomicU64::new(0),
+                    excl_nanos: AtomicU64::new(0),
+                })
+            })
+            .clone()
+    }
+
+    /// Export every counter. Functions are merged by name (a redefined
+    /// function keeps one row) and sorted; folded paths are sorted.
+    pub fn snapshot(&self) -> VmProfileSnapshot {
+        let opcodes = OPCODE_NAMES
+            .iter()
+            .zip(self.opcodes.iter())
+            .map(|(n, c)| (n.to_string(), c.load(Ordering::Relaxed)))
+            .collect();
+        let mut by_name: HashMap<&str, FnCounts> = HashMap::new();
+        let fns = self.fns.read();
+        for stat in fns.values() {
+            let e = by_name.entry(&stat.name).or_insert_with(|| FnCounts {
+                name: stat.name.to_string(),
+                calls: 0,
+                incl_nanos: 0,
+                excl_nanos: 0,
+            });
+            e.calls += stat.calls.load(Ordering::Relaxed);
+            e.incl_nanos += stat.incl_nanos.load(Ordering::Relaxed);
+            e.excl_nanos += stat.excl_nanos.load(Ordering::Relaxed);
+        }
+        let mut functions: Vec<FnCounts> = by_name.into_values().collect();
+        functions.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut folded: Vec<(String, u64)> = self
+            .folded
+            .lock()
+            .iter()
+            .map(|(p, w)| (p.to_string(), *w))
+            .collect();
+        folded.sort_by(|a, b| a.0.cmp(&b.0));
+        VmProfileSnapshot {
+            opcodes,
+            functions,
+            folded,
+        }
+    }
+}
+
+/// One shadow-stack slot: the timing state of a live frame.
+struct TimingEntry {
+    stat: Arc<FnStat>,
+    path: Arc<str>,
+    start: Instant,
+    child_nanos: u64,
+}
+
+/// Shadow timing stack for one interpreter activation. Mirrors the
+/// frame stack exactly: push on `Call`, replace on `TailCall`, pop on
+/// `Return`, truncate on restart transfer, rebuild on continuation
+/// resume. Dropping the scope closes every remaining entry, so error
+/// exits and suspensions attribute whatever ran.
+pub(crate) struct ProfScope<'p> {
+    prof: &'p VmProfiler,
+    stack: Vec<TimingEntry>,
+    /// Folded-path weights buffered locally and flushed on drop, so a
+    /// hot recursive function costs an atomic add per return, not a
+    /// global map lock.
+    local_folded: HashMap<Arc<str>, u64>,
+}
+
+impl<'p> ProfScope<'p> {
+    /// Count one executed opcode.
+    #[inline]
+    pub(crate) fn count_op(&self, op: &Op) {
+        self.prof.opcodes[opcode_index(op)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mirror the current frame stack (activation entry and
+    /// continuation resume). Only never-executed frames (`pc == 0`) are
+    /// counted as calls: a resumed continuation's frames were counted
+    /// when first pushed.
+    fn seed(&mut self, frames: &[Frame]) {
+        let now = Instant::now();
+        for frame in frames {
+            let stat = self.prof.stat_for(frame);
+            if frame.pc == 0 {
+                stat.calls.fetch_add(1, Ordering::Relaxed);
+            }
+            let path = self.extend_path(&stat.name);
+            self.stack.push(TimingEntry {
+                stat,
+                path,
+                start: now,
+                child_nanos: 0,
+            });
+        }
+    }
+
+    fn extend_path(&self, name: &str) -> Arc<str> {
+        match self.stack.last() {
+            Some(parent) => Arc::from(format!("{};{}", parent.path, name).as_str()),
+            None => Arc::from(name),
+        }
+    }
+
+    /// A frame was pushed by `Op::Call`.
+    pub(crate) fn on_push(&mut self, frame: &Frame) {
+        let stat = self.prof.stat_for(frame);
+        stat.calls.fetch_add(1, Ordering::Relaxed);
+        let path = self.extend_path(&stat.name);
+        self.stack.push(TimingEntry {
+            stat,
+            path,
+            start: Instant::now(),
+            child_nanos: 0,
+        });
+    }
+
+    /// The top frame was replaced by `Op::TailCall`: close the old
+    /// entry, open (and count) the new one at the same depth.
+    pub(crate) fn on_tail_call(&mut self, frame: &Frame) {
+        self.close_top();
+        self.on_push(frame);
+    }
+
+    /// The top frame returned.
+    pub(crate) fn on_return(&mut self) {
+        self.close_top();
+    }
+
+    /// The frame stack was truncated to `depth` (restart transfer).
+    pub(crate) fn on_truncate(&mut self, depth: usize) {
+        while self.stack.len() > depth {
+            self.close_top();
+        }
+    }
+
+    /// The frame stack was wholesale replaced (first-class continuation
+    /// resume): close everything, mirror the new stack.
+    pub(crate) fn on_replace(&mut self, frames: &[Frame]) {
+        self.on_truncate(0);
+        self.seed(frames);
+    }
+
+    /// Attribute every open segment now (called just before suspension
+    /// so future-determination waits are not charged to the fiber).
+    pub(crate) fn suspend_closeout(&mut self) {
+        self.on_truncate(0);
+    }
+
+    fn close_top(&mut self) {
+        let Some(e) = self.stack.pop() else { return };
+        let seg = e.start.elapsed().as_nanos() as u64;
+        let excl = seg.saturating_sub(e.child_nanos);
+        e.stat.incl_nanos.fetch_add(seg, Ordering::Relaxed);
+        e.stat.excl_nanos.fetch_add(excl, Ordering::Relaxed);
+        *self.local_folded.entry(e.path).or_insert(0) += excl;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_nanos += seg;
+        }
+    }
+}
+
+impl Drop for ProfScope<'_> {
+    fn drop(&mut self) {
+        self.on_truncate(0);
+        if !self.local_folded.is_empty() {
+            let mut folded = self.prof.folded.lock();
+            for (path, w) in self.local_folded.drain() {
+                *folded.entry(path).or_insert(0) += w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_index_is_dense_and_total() {
+        // Every variant maps inside the table; spot-check both ends.
+        assert_eq!(opcode_index(&Op::Const(0)), 0);
+        assert_eq!(opcode_index(&Op::PopRestarts(1)), OPCODE_COUNT - 1);
+        assert_eq!(OPCODE_NAMES.len(), OPCODE_COUNT);
+    }
+
+    #[test]
+    fn disabled_profiler_yields_no_scope() {
+        let p = VmProfiler::default();
+        assert!(p.scope(&[]).is_none());
+        p.set_enabled(true);
+        assert!(p.scope(&[]).is_some());
+    }
+
+    #[test]
+    fn snapshot_of_fresh_profiler_is_empty() {
+        let p = VmProfiler::default();
+        let s = p.snapshot();
+        assert_eq!(s.opcodes.len(), OPCODE_COUNT);
+        assert!(s.opcodes.iter().all(|(_, c)| *c == 0));
+        assert!(s.functions.is_empty());
+        assert!(s.folded.is_empty());
+    }
+
+    #[test]
+    fn attributes_calls_times_and_folded_stacks() {
+        let gvm = crate::Gvm::new();
+        gvm.profiler().set_enabled(true);
+        gvm.eval_str("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+            .unwrap();
+        gvm.eval_str("(fib 10)").unwrap();
+        let s = gvm.profiler().snapshot();
+        let fib = s
+            .functions
+            .iter()
+            .find(|f| f.name == "fib")
+            .expect("fib profiled");
+        assert_eq!(fib.calls, 177, "fib(10) makes 177 fib invocations");
+        assert!(fib.incl_nanos >= fib.excl_nanos);
+        // Every exclusive segment lands in exactly one folded path.
+        let sum_excl: u64 = s.functions.iter().map(|f| f.excl_nanos).sum();
+        let sum_folded: u64 = s.folded.iter().map(|(_, w)| *w).sum();
+        assert_eq!(sum_excl, sum_folded);
+        assert!(s.folded.iter().any(|(p, _)| p.contains("fib;fib")));
+        let calls = s
+            .opcodes
+            .iter()
+            .find(|(n, _)| n == "call")
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert!(calls > 0, "call opcodes counted");
+        // Disabled VMs collect nothing.
+        let quiet = crate::Gvm::new();
+        quiet.eval_str("(+ 1 2)").unwrap();
+        assert!(quiet.profiler().snapshot().functions.is_empty());
+    }
+
+    #[test]
+    fn suspended_intervals_are_excluded() {
+        use crate::fiber::RunOutcome;
+        use gozer_lang::Value;
+
+        let gvm = crate::Gvm::new();
+        gvm.profiler().set_enabled(true);
+        gvm.eval_str("(defun waiter () (yield :a) (yield :b) 42)")
+            .unwrap();
+        let f = gvm.function("waiter").unwrap();
+        let RunOutcome::Suspended(s1) = gvm.call_fiber(&f, vec![]).unwrap() else {
+            panic!("expected first suspension")
+        };
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let RunOutcome::Suspended(s2) = gvm.resume_fiber(s1.state, Value::Nil).unwrap() else {
+            panic!("expected second suspension")
+        };
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let RunOutcome::Done(v) = gvm.resume_fiber(s2.state, Value::Nil).unwrap() else {
+            panic!("expected completion")
+        };
+        assert_eq!(v, Value::Int(42));
+        let s = gvm.profiler().snapshot();
+        let w = s
+            .functions
+            .iter()
+            .find(|f| f.name == "waiter")
+            .expect("waiter profiled");
+        assert_eq!(w.calls, 1, "resume must not re-count the call");
+        assert!(
+            w.incl_nanos < 50_000_000,
+            "suspended time charged to waiter: {}ns",
+            w.incl_nanos
+        );
+    }
+}

@@ -31,4 +31,8 @@ run "$CARGO" test --test survivability $OFFLINE
 # families with non-zero activity after a real workflow run.
 run make obs-check
 
+# Profiler gate: `gozer-repl profile` on the example pipeline must emit
+# a consistent hot-function report and well-formed folded stacks.
+run make profile-check
+
 echo "ci: OK (chaos sweep width $CHAOS_SEEDS)"

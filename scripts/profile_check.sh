@@ -1,0 +1,65 @@
+#!/bin/sh
+# profile-check: run the gozer-repl profiler on the example pipeline and
+# assert the output is a usable profile — a hot-function table whose
+# inclusive/exclusive columns are consistent, per-opcode counts,
+# continuation costs with a nonzero serialize sample, and a folded-stack
+# file every line of which flamegraph.pl would accept.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CARGO="${CARGO:-cargo}"
+OFFLINE="${CARGO_OFFLINE:---offline}"
+
+WORKFLOW=examples/pipeline.gz
+FOLDED="$WORKFLOW.folded"
+rm -f "$FOLDED"
+
+OUT=$("$CARGO" run -q $OFFLINE -p gozer --bin gozer-repl -- \
+    profile "$WORKFLOW" main 6)
+
+fail=0
+check() {
+    # check <label> <grep-pattern>
+    if printf '%s\n' "$OUT" | grep -q "$2"; then
+        echo "profile-check: ok   $1"
+    else
+        echo "profile-check: FAIL — $1 (no match for '$2')"
+        fail=1
+    fi
+}
+
+check "workflow result"        '^result: 410$'
+check "hot-function table"     '^== hot functions'
+check "recursion attributed"   '^validate-digits '
+check "fork child attributed"  '^audit '
+check "opcode counts"          '^== opcodes'
+check "call opcode counted"    '^call  *[1-9]'
+check "continuation costs"     '^serialize:  *[1-9]'
+check "nonzero serialize min"  'min [1-9][0-9]*ns'
+
+if [ ! -f "$FOLDED" ]; then
+    echo "profile-check: FAIL — folded stack file $FOLDED not written"
+    fail=1
+else
+    # Every line must be "path weight" with a positive integer weight —
+    # the exact shape flamegraph.pl consumes.
+    bad=$(grep -cvE '^[^ ]+ [1-9][0-9]*$' "$FOLDED" || true)
+    lines=$(grep -c . "$FOLDED" || true)
+    if [ "$bad" -ne 0 ] || [ "$lines" -eq 0 ]; then
+        echo "profile-check: FAIL — $FOLDED has $bad malformed line(s) of $lines"
+        fail=1
+    else
+        echo "profile-check: ok   folded stacks ($lines lines, all well-formed)"
+    fi
+    if grep -q '^main' "$FOLDED" && grep -q ';' "$FOLDED"; then
+        echo "profile-check: ok   folded stacks nest under main"
+    else
+        echo "profile-check: FAIL — folded stacks missing main root or nesting"
+        fail=1
+    fi
+    rm -f "$FOLDED"
+fi
+
+[ "$fail" -eq 0 ] || exit 1
+echo "profile-check: OK"
