@@ -4,7 +4,7 @@
 CARGO ?= cargo
 CHAOS_SEEDS ?= 16
 
-.PHONY: build test test-all test-chaos obs-check profile-check bench ci
+.PHONY: build test test-all test-chaos recovery-check obs-check profile-check bench ci
 
 build:
 	$(CARGO) build --release
@@ -22,6 +22,13 @@ test-all:
 test-chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) test -p vinz --test chaos -- --nocapture
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(CARGO) test --test survivability
+
+# Recovery gate: the armed survivability sweep (chaos never disarmed,
+# no harness respawns — leases, supervisor, and retries do all the
+# work) plus the dead-letter quarantine assertions on both the broker
+# and task sides.
+recovery-check:
+	sh scripts/recovery_check.sh
 
 # Observability gate: run an example workflow, scrape the text
 # exporter, and assert the required metric families are non-zero.

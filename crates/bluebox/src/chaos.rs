@@ -163,6 +163,11 @@ pub struct ChaosConfig {
     /// redelivered this many times, it is always delivered. Guarantees
     /// progress under at-least-once semantics.
     pub max_faults_per_message: u32,
+    /// When set, faults are injected *only* into messages with this
+    /// operation; everything else flows untouched. Used by the
+    /// [`poison`](ChaosConfig::poison) preset to doom one operation
+    /// while the rest of the workload stays healthy.
+    pub target_operation: Option<String>,
 }
 
 impl ChaosConfig {
@@ -182,6 +187,7 @@ impl ChaosConfig {
             max_crashes: 0,
             max_node_kills: 0,
             max_faults_per_message: 3,
+            target_operation: None,
         }
     }
 
@@ -214,6 +220,19 @@ impl ChaosConfig {
             max_delay: Duration::from_millis(2),
             duplicate_permille: 100,
             reorder_permille: 120,
+            ..ChaosConfig::off(seed)
+        }
+    }
+
+    /// A poison-message preset: every delivery of the targeted
+    /// operation crashes its instance before processing, with a budget
+    /// deep enough to outlast any redelivery budget. The rest of the
+    /// workload is untouched. Exercises the dead-letter path.
+    pub fn poison(seed: u64, operation: impl Into<String>) -> ChaosConfig {
+        ChaosConfig {
+            crash_before_permille: 1000,
+            max_crashes: 64,
+            target_operation: Some(operation.into()),
             ..ChaosConfig::off(seed)
         }
     }
@@ -430,6 +449,15 @@ impl ChaosPlan {
 
     // ---- effectful wrappers (arming + budgets + stats) ----------------------
 
+    /// Is this message within the plan's blast radius? (Always, unless
+    /// the config targets a single operation.)
+    fn targets(&self, msg: &Message) -> bool {
+        match &self.config.target_operation {
+            Some(op) => msg.operation == *op,
+            None => true,
+        }
+    }
+
     fn try_spend_crash(&self) -> bool {
         let max = self.config.max_crashes as u64;
         let mut spent = self.crashes_spent.load(Ordering::SeqCst);
@@ -453,7 +481,7 @@ impl ChaosPlan {
     /// suppressed once the crash budget is spent (the message is then
     /// delivered normally).
     pub fn on_deliver(&self, msg: &Message) -> FaultAction {
-        if !self.is_armed() {
+        if !self.is_armed() || !self.targets(msg) {
             return FaultAction::Deliver;
         }
         let key = ChaosPlan::message_key(msg);
@@ -480,7 +508,7 @@ impl ChaosPlan {
 
     /// Cluster hook: crash after the handler ran?
     pub fn on_after_process(&self, msg: &Message) -> bool {
-        if !self.is_armed() {
+        if !self.is_armed() || !self.targets(msg) {
             return false;
         }
         let key = ChaosPlan::message_key(msg);
@@ -494,7 +522,7 @@ impl ChaosPlan {
 
     /// Cluster hook: deliver this send twice?
     pub fn on_send_duplicate(&self, msg: &Message) -> bool {
-        if !self.is_armed() {
+        if !self.is_armed() || !self.targets(msg) {
             return false;
         }
         if self.decide_duplicate(ChaosPlan::message_key(msg)) {
@@ -507,7 +535,7 @@ impl ChaosPlan {
 
     /// Cluster hook: displace this send in the queue by `n` slots?
     pub fn on_send_reorder(&self, msg: &Message) -> Option<usize> {
-        if !self.is_armed() {
+        if !self.is_armed() || !self.targets(msg) {
             return None;
         }
         let slots = self.decide_reorder(ChaosPlan::message_key(msg))?;

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -15,6 +15,7 @@ use crate::chaos::{ChaosPlan, FaultAction};
 use crate::message::{Fault, Message, ReplyTo};
 use crate::metrics::Metrics;
 use crate::queue::{Policy, ServiceQueue};
+use crate::recovery::{DeadLetter, Lease, PendingReclaim, RecoveryConfig, RecoveryStats, RecoveryStatsSnapshot};
 
 pub use crate::chaos::FaultPoint;
 
@@ -83,6 +84,9 @@ struct InstanceControl {
     fault: Mutex<Option<FaultPoint>>,
     busy: AtomicBool,
     alive: AtomicBool,
+    /// Last queue interaction; the reaper treats a holder whose
+    /// heartbeat is older than the lease TTL as failed.
+    heartbeat: Mutex<Instant>,
 }
 
 struct InstanceHandle {
@@ -110,6 +114,20 @@ pub struct Cluster {
     hist_wait: Arc<Histogram>,
     hist_busy: Arc<Histogram>,
     hist_sync: Arc<Histogram>,
+    // --- recovery layer ---------------------------------------------------
+    recovery_cfg: RwLock<RecoveryConfig>,
+    /// Outstanding leases by broker message id.
+    leases: Mutex<HashMap<u64, Lease>>,
+    /// Reclaimed messages waiting out their backoff (queue lease held).
+    reclaims_pending: Mutex<Vec<PendingReclaim>>,
+    /// Delayed sends ([`Cluster::send_after`]).
+    delayed: Mutex<Vec<(Instant, Message)>>,
+    /// Per-queue dead-letter stores.
+    dead: Mutex<HashMap<String, Vec<DeadLetter>>>,
+    dead_observers: Mutex<Vec<Box<dyn Fn(&DeadLetter) + Send + Sync>>>,
+    recovery_stats: Arc<RecoveryStats>,
+    closed: AtomicBool,
+    reaper: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Cluster {
@@ -139,7 +157,22 @@ impl Cluster {
             "Caller block time of synchronous nested calls.",
             "",
         );
-        Arc::new(Cluster {
+        let recovery_stats = Arc::new(RecoveryStats::default());
+        let rs = recovery_stats.clone();
+        reg.counter_fn(
+            "bluebox_lease_reclaims_total",
+            "In-flight messages reclaimed from dead or stale instances.",
+            "",
+            move || rs.reclaims.load(Ordering::Relaxed),
+        );
+        let rs = recovery_stats.clone();
+        reg.counter_fn(
+            "gozer_dead_letters_total",
+            "Messages quarantined after exhausting their redelivery budget.",
+            "",
+            move || rs.dead_letters.load(Ordering::Relaxed),
+        );
+        let cluster = Arc::new(Cluster {
             queues: RwLock::new(HashMap::new()),
             services: RwLock::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
@@ -154,7 +187,23 @@ impl Cluster {
             hist_wait,
             hist_busy,
             hist_sync,
-        })
+            recovery_cfg: RwLock::new(RecoveryConfig::default()),
+            leases: Mutex::new(HashMap::new()),
+            reclaims_pending: Mutex::new(Vec::new()),
+            delayed: Mutex::new(Vec::new()),
+            dead: Mutex::new(HashMap::new()),
+            dead_observers: Mutex::new(Vec::new()),
+            recovery_stats,
+            closed: AtomicBool::new(false),
+            reaper: Mutex::new(None),
+        });
+        let weak = Arc::downgrade(&cluster);
+        let reaper = std::thread::Builder::new()
+            .name("bb-reaper".into())
+            .spawn(move || reaper_loop(weak))
+            .expect("spawn reaper thread");
+        *cluster.reaper.lock() = Some(reaper);
+        cluster
     }
 
     /// The cluster's observability handle: the shared event bus and
@@ -228,6 +277,7 @@ impl Cluster {
                 fault: Mutex::new(None),
                 busy: AtomicBool::new(false),
                 alive: AtomicBool::new(true),
+                heartbeat: Mutex::new(Instant::now()),
             });
             let queue = self.queue(service);
             let ctx = ServiceCtx {
@@ -462,8 +512,190 @@ impl Cluster {
         self.queue(service).wait_idle(Instant::now() + timeout)
     }
 
+    /// Replace the recovery tunables (lease TTL, redelivery budget,
+    /// backoff). Takes effect from the reaper's next scan.
+    pub fn set_recovery(&self, cfg: RecoveryConfig) {
+        *self.recovery_cfg.write() = cfg;
+    }
+
+    /// The current recovery tunables.
+    pub fn recovery(&self) -> RecoveryConfig {
+        self.recovery_cfg.read().clone()
+    }
+
+    /// Recovery counters: leases reclaimed, messages dead-lettered.
+    pub fn recovery_stats(&self) -> RecoveryStatsSnapshot {
+        self.recovery_stats.snapshot()
+    }
+
+    /// The dead-letter store of one service's queue.
+    pub fn dead_letters(&self, service: &str) -> Vec<DeadLetter> {
+        self.dead.lock().get(service).cloned().unwrap_or_default()
+    }
+
+    /// Total messages quarantined across all queues (the
+    /// `gozer_dead_letters_total` metric).
+    pub fn dead_letter_total(&self) -> u64 {
+        self.recovery_stats.dead_letters.load(Ordering::Relaxed)
+    }
+
+    /// Register a dead-letter observer, invoked from the reaper thread
+    /// for every quarantined message. Observers must not register
+    /// further observers re-entrantly.
+    pub fn on_dead_letter(&self, f: impl Fn(&DeadLetter) + Send + Sync + 'static) {
+        self.dead_observers.lock().push(Box::new(f));
+    }
+
+    /// Enqueue `msg` after `delay` (delivered by the reaper thread's
+    /// next scan past the due time). Zero delay sends immediately.
+    pub fn send_after(&self, msg: Message, delay: Duration) {
+        if delay.is_zero() {
+            self.send(msg);
+        } else {
+            self.delayed.lock().push((Instant::now() + delay, msg));
+        }
+    }
+
+    /// Messages of a service currently leased to instances (or held by
+    /// the reaper awaiting reclaim) — popped but not yet settled.
+    pub fn in_flight(&self, service: &str) -> usize {
+        self.queues
+            .read()
+            .get(service)
+            .map(|q| q.leased_count())
+            .unwrap_or(0)
+    }
+
+    /// Whether [`shutdown`](Self::shutdown) has begun.
+    pub fn is_shutdown(&self) -> bool {
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    /// One reaper scan: expire leases whose holder is dead or stale,
+    /// re-queue reclaims past their backoff (or quarantine them over
+    /// budget), and release due delayed sends.
+    fn recovery_tick(self: &Arc<Cluster>) {
+        let cfg = self.recovery_cfg.read().clone();
+        let now = Instant::now();
+        // 1. Expire leases. A dead holder (crashed thread, `alive`
+        //    false, or no longer registered) expires immediately; a live
+        //    one only after its heartbeat goes stale past the TTL.
+        let mut expired: Vec<Lease> = Vec::new();
+        {
+            let instances = self.instances.lock();
+            let mut leases = self.leases.lock();
+            let ids: Vec<u64> = leases.keys().copied().collect();
+            for id in ids {
+                let holder = match leases.get(&id) {
+                    Some(l) => l.instance,
+                    None => continue,
+                };
+                let failed = match instances.iter().find(|h| h.id == holder) {
+                    None => true,
+                    Some(h) => {
+                        !h.control.alive.load(Ordering::Relaxed)
+                            || now.saturating_duration_since(*h.control.heartbeat.lock())
+                                > cfg.lease_ttl
+                    }
+                };
+                if failed {
+                    if let Some(l) = leases.remove(&id) {
+                        expired.push(l);
+                    }
+                }
+            }
+        }
+        for lease in expired {
+            if lease.msg.redeliveries >= cfg.redelivery_budget {
+                self.quarantine(&lease.service, lease.msg, "redelivery-budget");
+            } else {
+                let due = now + cfg.backoff_for(lease.msg.redeliveries);
+                self.reclaims_pending.lock().push(PendingReclaim {
+                    due,
+                    service: lease.service,
+                    msg: lease.msg,
+                });
+            }
+        }
+        // 2. Re-queue reclaims past their backoff. The broker id is
+        //    preserved and `push_front` bumps the redelivery count, so
+        //    idempotency keys and the budget both survive the hop.
+        let ready: Vec<PendingReclaim> = {
+            let mut pending = self.reclaims_pending.lock();
+            let (ready, rest) = pending.drain(..).partition(|p| p.due <= now);
+            *pending = rest;
+            ready
+        };
+        for p in ready {
+            self.metrics.add(&self.metrics.redelivered, 1);
+            self.recovery_stats.reclaims.fetch_add(1, Ordering::Relaxed);
+            self.obs.bus.emit(msg_event(
+                EventKind::LeaseReclaimed {
+                    service: p.msg.service.clone(),
+                    operation: p.msg.operation.clone(),
+                },
+                &p.msg,
+            ));
+            self.obs.bus.emit(msg_event(
+                EventKind::MessageRedelivered {
+                    service: p.msg.service.clone(),
+                    operation: p.msg.operation.clone(),
+                },
+                &p.msg,
+            ));
+            let queue = self.queue(&p.service);
+            queue.push_front(p.msg);
+            queue.settle();
+        }
+        // 3. Release due delayed sends.
+        let due_sends: Vec<(Instant, Message)> = {
+            let mut delayed = self.delayed.lock();
+            let (due, rest) = delayed.drain(..).partition(|(at, _)| *at <= now);
+            *delayed = rest;
+            due
+        };
+        for (_, m) in due_sends {
+            self.send(m);
+        }
+    }
+
+    /// Move a message to the dead-letter store, settle its queue lease,
+    /// and notify observers.
+    fn quarantine(&self, service: &str, msg: Message, reason: &str) {
+        self.recovery_stats.dead_letters.fetch_add(1, Ordering::Relaxed);
+        self.obs.bus.emit(msg_event(
+            EventKind::MessageDeadLettered {
+                service: service.to_string(),
+                operation: msg.operation.clone(),
+                reason: reason.to_string(),
+            },
+            &msg,
+        ));
+        let dl = DeadLetter {
+            msg,
+            service: service.to_string(),
+            reason: reason.to_string(),
+        };
+        self.dead
+            .lock()
+            .entry(service.to_string())
+            .or_default()
+            .push(dl.clone());
+        self.queue(service).settle();
+        let observers = self.dead_observers.lock();
+        for f in observers.iter() {
+            f(&dl);
+        }
+    }
+
     /// Stop all instances and close all queues.
     pub fn shutdown(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        // Join the reaper before taking the instances lock: its scan
+        // takes that lock too.
+        if let Some(t) = self.reaper.lock().take() {
+            let _ = t.join();
+        }
         let mut instances = self.instances.lock();
         for h in instances.iter() {
             h.control.stop.store(true, Ordering::Relaxed);
@@ -487,6 +719,7 @@ fn instance_loop(
 ) {
     let cluster = ctx.cluster.clone();
     loop {
+        *control.heartbeat.lock() = Instant::now();
         if control.stop.load(Ordering::Relaxed) {
             break;
         }
@@ -500,7 +733,16 @@ fn instance_loop(
             continue;
         };
         // The message is leased from here: every exit path below must
-        // settle exactly once.
+        // settle exactly once — or die leaving the lease registered, in
+        // which case the reaper settles it after reclaim/quarantine.
+        cluster.leases.lock().insert(
+            msg.id,
+            Lease {
+                msg: msg.clone(),
+                service: ctx.service.clone(),
+                instance: ctx.instance_id,
+            },
+        );
         let metrics = &cluster.metrics;
         let wait = msg.enqueued_at.elapsed().as_nanos() as u64;
         metrics.add(&metrics.delivered, 1);
@@ -541,6 +783,7 @@ fn instance_loop(
                         },
                         &msg,
                     ));
+                    cluster.leases.lock().remove(&msg.id);
                     queue.push_front(msg);
                     queue.settle();
                     continue;
@@ -560,17 +803,14 @@ fn instance_loop(
                 }
             }
         }
-        // Manual kill before processing: the message is redelivered
-        // untouched.
+        // Manual kill before processing: die holding the message — the
+        // lease reaper detects the dead holder and re-queues it.
         if *control.fault.lock() == Some(FaultPoint::BeforeProcess) {
-            metrics.add(&metrics.redelivered, 1);
             cluster.obs.bus.emit(
                 msg_event(EventKind::InstanceCrashed { point: "before-process".into() }, &msg)
                     .node(ctx.node_id)
                     .instance(ctx.instance_id),
             );
-            queue.push_front(msg);
-            queue.settle();
             control.alive.store(false, Ordering::Relaxed);
             break;
         }
@@ -607,24 +847,27 @@ fn instance_loop(
             );
             break;
         }
+        cluster.leases.lock().remove(&msg.id);
         cluster.route_reply(&msg, result);
         metrics.add(&metrics.completed, 1);
         queue.settle();
     }
 }
 
-/// Die holding `msg`: re-queue it, settle the lease, mark this instance
-/// dead, and optionally take the rest of the node down with it.
+/// Die holding `msg`: mark this instance dead and abandon the message —
+/// no re-queue, no settle. A crashed process cannot return its own
+/// work; the lease reaper notices the dead holder, re-queues the
+/// message (same broker id, redelivery count bumped) after backoff, or
+/// quarantines it once the redelivery budget is spent.
 fn crash_with(
     cluster: &Arc<Cluster>,
-    queue: &Arc<ServiceQueue>,
+    _queue: &Arc<ServiceQueue>,
     control: &Arc<InstanceControl>,
     msg: Message,
     point: FaultPoint,
     ctx: &ServiceCtx,
     node_wide: bool,
 ) {
-    cluster.metrics.add(&cluster.metrics.redelivered, 1);
     cluster.obs.bus.emit(
         msg_event(
             EventKind::InstanceCrashed {
@@ -639,11 +882,28 @@ fn crash_with(
         .node(ctx.node_id)
         .instance(ctx.instance_id),
     );
-    queue.push_front(msg);
-    queue.settle();
     control.alive.store(false, Ordering::Relaxed);
     if node_wide {
         cluster.kill_node(ctx.node_id, point);
+    }
+}
+
+/// The lease reaper: one background thread per cluster, scanning the
+/// lease table, the reclaim backlog, and the delayed-send list. Holds
+/// only a [`Weak`] cluster reference so dropping the last external
+/// `Arc` (or [`Cluster::shutdown`]) terminates it.
+fn reaper_loop(weak: Weak<Cluster>) {
+    loop {
+        let interval = {
+            let Some(cluster) = weak.upgrade() else { return };
+            if cluster.closed.load(Ordering::Relaxed) {
+                return;
+            }
+            cluster.recovery_tick();
+            let interval = cluster.recovery_cfg.read().scan_interval;
+            interval
+        };
+        std::thread::sleep(interval);
     }
 }
 

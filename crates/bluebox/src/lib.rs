@@ -49,6 +49,7 @@ pub mod cluster;
 pub mod message;
 pub mod metrics;
 pub mod queue;
+pub mod recovery;
 
 pub use chaos::{
     ChaosConfig, ChaosPlan, ChaosRng, ChaosStats, ChaosStatsSnapshot, FaultAction, FaultPoint,
@@ -57,3 +58,4 @@ pub use cluster::{CallError, Cluster, CrashPoint, Handler, ServiceCtx};
 pub use message::{Fault, Message, ReplyTo};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{Policy, ServiceQueue};
+pub use recovery::{DeadLetter, RecoveryConfig, RecoveryStats, RecoveryStatsSnapshot};

@@ -207,6 +207,11 @@ impl ServiceQueue {
         self.state.lock().messages.len()
     }
 
+    /// Number of popped-but-unsettled messages (outstanding leases).
+    pub fn leased_count(&self) -> usize {
+        self.state.lock().leased
+    }
+
     /// Close: wake all receivers; subsequent pops drain then return
     /// `None`.
     pub fn close(&self) {

@@ -53,8 +53,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use bluebox::{
-    CallError, ChaosConfig, ChaosPlan, ChaosRng, ChaosStatsSnapshot, Cluster, CrashPoint, Fault,
-    FaultAction, FaultPoint, Message, MetricsSnapshot, Policy, ServiceCtx,
+    CallError, ChaosConfig, ChaosPlan, ChaosRng, ChaosStatsSnapshot, Cluster, CrashPoint,
+    DeadLetter, Fault, FaultAction, FaultPoint, Message, MetricsSnapshot, Policy, RecoveryConfig,
+    RecoveryStatsSnapshot, ServiceCtx,
 };
 pub use gozer_compress::Codec;
 pub use gozer_lang::{Reader, Symbol, Value};
@@ -66,9 +67,9 @@ pub use gozer_obs::{
     ProfileReport, SerialCostSnapshot, Snapshot, TaskTimeline, TimelineSet,
 };
 pub use vinz::{
-    FileLocks, FileStore, InProcessLocks, LockManager, MemStore, StateStore, TaskRecord,
-    TaskStatus, Trace, TraceEvent, TraceKind, VinzConfig, VinzError, WorkflowObs,
-    WorkflowService, WorkflowServiceBuilder, ZkLocks,
+    FileLocks, FileStore, InProcessLocks, LockManager, MemStore, RetryPolicy, StateStore,
+    SupervisorConfig, TaskRecord, TaskStatus, Trace, TraceEvent, TraceKind, VinzConfig, VinzError,
+    WorkflowObs, WorkflowService, WorkflowServiceBuilder, ZkLocks,
 };
 pub use zk_lite::ZkServer;
 

@@ -47,6 +47,24 @@ pub enum EventKind {
         /// Where it died relative to processing.
         point: String,
     },
+    /// A dead instance's leased-but-unacknowledged message was
+    /// reclaimed by the broker's lease reaper and re-queued.
+    LeaseReclaimed {
+        /// Destination service.
+        service: String,
+        /// Destination operation.
+        operation: String,
+    },
+    /// A message exhausted its redelivery budget and was quarantined in
+    /// the per-queue dead-letter store.
+    MessageDeadLettered {
+        /// Destination service.
+        service: String,
+        /// Destination operation.
+        operation: String,
+        /// Why it was quarantined (e.g. `redelivery-budget`).
+        reason: String,
+    },
 
     // ---- workflow lifecycle (Vinz) ---------------------------------------
     /// `Start` accepted: the task and its main fiber exist.
@@ -99,6 +117,25 @@ pub enum EventKind {
         /// `completed`, `failed`, or `terminated`.
         outcome: String,
     },
+    /// The supervisor replaced a dead deployment's instances.
+    InstancesRespawned {
+        /// Service whose instances were re-provisioned.
+        service: String,
+        /// How many instances were spawned.
+        count: usize,
+    },
+    /// The supervisor found an orphaned continuation in the state store
+    /// and re-sent the message that resumes it.
+    OrphanResumed {
+        /// `run-fiber`, `awake`, or `join`.
+        via: String,
+    },
+    /// The engine-level retry policy re-dispatched a faulted or timed
+    /// out async service call.
+    CallRetried {
+        /// 1-based attempt number of the re-dispatch.
+        attempt: u32,
+    },
 
     // ---- VM (GVM fiber hooks) --------------------------------------------
     /// The VM captured a continuation: the fiber suspended with this
@@ -120,6 +157,8 @@ impl EventKind {
             EventKind::MessageRedelivered { .. } => "redeliver",
             EventKind::FaultInjected { .. } => "fault",
             EventKind::InstanceCrashed { .. } => "crash",
+            EventKind::LeaseReclaimed { .. } => "reclaim",
+            EventKind::MessageDeadLettered { .. } => "dead-letter",
             EventKind::TaskStarted => "start",
             EventKind::FiberRun => "run-fiber",
             EventKind::FiberYield { .. } => "yield",
@@ -132,6 +171,9 @@ impl EventKind {
             EventKind::ServiceCallDispatched { .. } => "service-call",
             EventKind::FiberDone => "fiber-done",
             EventKind::TaskDone { .. } => "task-done",
+            EventKind::InstancesRespawned { .. } => "respawn",
+            EventKind::OrphanResumed { .. } => "orphan-resume",
+            EventKind::CallRetried { .. } => "call-retry",
             EventKind::VmSuspend { .. } => "vm-suspend",
             EventKind::VmResume => "vm-resume",
         }

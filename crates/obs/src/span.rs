@@ -144,6 +144,23 @@ fn describe(e: &Event, origin: Instant) -> String {
             line.push_str(&format!(" {fault} on {operation}"));
         }
         EventKind::InstanceCrashed { point } => line.push_str(&format!(" at {point}")),
+        EventKind::LeaseReclaimed { service, operation } => {
+            line.push_str(&format!(" {service}:{operation}"));
+        }
+        EventKind::MessageDeadLettered {
+            service,
+            operation,
+            reason,
+        } => {
+            line.push_str(&format!(" {service}:{operation} ({reason})"));
+        }
+        EventKind::InstancesRespawned { service, count } => {
+            line.push_str(&format!(" {count} x {service}"));
+        }
+        EventKind::OrphanResumed { via } => line.push_str(&format!(" via {via}")),
+        EventKind::CallRetried { attempt } => {
+            line.push_str(&format!(" attempt {attempt}"));
+        }
         EventKind::FiberYield { reason } => line.push_str(&format!(" ({reason})")),
         EventKind::FiberPersisted { bytes } => line.push_str(&format!(" {bytes}B")),
         EventKind::FiberLoaded { cache_hit } => {
@@ -202,6 +219,8 @@ impl TimelineSet {
                     | EventKind::MessageRedelivered { .. }
                     | EventKind::FaultInjected { .. }
                     | EventKind::InstanceCrashed { .. }
+                    | EventKind::LeaseReclaimed { .. }
+                    | EventKind::MessageDeadLettered { .. }
             )
         };
 

@@ -57,6 +57,7 @@ mod natives;
 pub mod prelude;
 pub mod service;
 pub mod store;
+pub mod supervisor;
 pub mod testing;
 pub mod trace;
 pub mod tracker;
@@ -69,6 +70,7 @@ pub use service::{
     WorkflowServiceBuilder,
 };
 pub use store::{FileStore, MemStore, StateStore, StoreError};
+pub use supervisor::{RetryPolicy, SupervisorConfig};
 pub use gozer_obs::{FlightDump, FlightRecorder, FnProfile, ProfileReport, SerialCostSnapshot};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use tracker::{TaskRecord, TaskStatus, TaskTracker};

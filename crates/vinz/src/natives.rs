@@ -130,11 +130,33 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
         if let Some(limit) = ctx.ext.get("spawn-limit") {
             state.ext.set("spawn-limit", limit.clone());
         }
+        if let Some(jd) = ctx.ext.get("join-deadline-ms") {
+            state.ext.set("join-deadline-ms", jd.clone());
+        }
         inner.tracker.fiber_created(&task_id);
         inner
             .save_fiber(&rt, IN_FIBER, &child_id, state)
             .map_err(vz)?;
         inner.set_phase(&child_id, "initial").map_err(vz)?;
+        // Durable child registry for the supervisor's orphan scan: it
+        // re-sends AwakeFiber for finished children of a suspended
+        // parent (serial under the parent's fiber lock, so get+put is
+        // race-free).
+        let children_key = format!("children/{parent_id}");
+        let mut children = inner
+            .store
+            .get(&children_key)
+            .map_err(|e| VmError::msg(e.to_string()))?
+            .map(|b| String::from_utf8_lossy(&b).into_owned())
+            .unwrap_or_default();
+        if !children.is_empty() {
+            children.push(',');
+        }
+        children.push_str(&child_id);
+        inner
+            .store
+            .put(&children_key, children.as_bytes())
+            .map_err(|e| VmError::msg(e.to_string()))?;
         inner.trace.record(
             rt.node_id,
             IN_FIBER,
@@ -166,8 +188,16 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
             });
         }
         // Background thread: only this thread blocks, the fiber is
-        // unaffected (§3.4).
-        let deadline = Instant::now() + Duration::from_secs(600);
+        // unaffected (§3.4). The wait is bounded by the deployment's
+        // join deadline, inherited through the fiber's extension slots
+        // so child tasks see the same budget as their root.
+        let budget = ctx
+            .ext
+            .get("join-deadline-ms")
+            .and_then(|v| v.as_int())
+            .map(|ms| Duration::from_millis(ms.max(0) as u64))
+            .unwrap_or(inner.config.join_deadline);
+        let deadline = Instant::now() + budget;
         let key = format!("result/{target}");
         loop {
             if let Some(bytes) = inner
@@ -228,6 +258,23 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
         // onto the ResumeFromCall reply, so faults injected into either
         // leg correlate back to this fiber's timeline.
         let task_id = ext_str(ctx, "task-id", "call").unwrap_or_default();
+        // Durable call record: everything the retry machinery needs to
+        // re-send this exact request if the reply faults or never
+        // arrives. Written before the send so a crash between the two
+        // leaves a retryable record, not a lost call.
+        let call_req = crate::supervisor::CallReq {
+            service: service.clone(),
+            operation: operation.clone(),
+            soap_action: soap_action.clone(),
+            task: task_id.clone(),
+            fiber: fiber_id.clone(),
+            attempts: 1,
+            body: body.clone(),
+        };
+        inner
+            .store
+            .put(&format!("call-req/{correlation}"), &call_req.encode())
+            .map_err(|e| VmError::msg(e.to_string()))?;
         inner.cluster.send_with_service_reply_corr(
             Message::new(&service, &operation, body)
                 .header("soap-action", soap_action)
@@ -451,6 +498,16 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
         }),
     );
 
+    // with-retries: bounded retry with a give-up fallback around any
+    // body (most usefully a synchronous service call). Like defhandler,
+    // the options are literals consumed at macro-expansion time.
+    gvm.define_macro(
+        Symbol::intern("with-retries"),
+        NativeFn::value("with-retries", move |_ctx, args| {
+            expand_with_retries(&args).map(NativeOutcome::Value)
+        }),
+    );
+
     // Remember the node id for natives that need a runtime handle.
     gvm.set_global(Symbol::intern("%node-id"), Value::Int(node_id as i64));
 }
@@ -595,6 +652,67 @@ fn expand_defhandler(args: &[Value]) -> VmResult<Value> {
     ]))
 }
 
+/// Expand `(with-retries (:count N :name "n" :fallback EXPR [:on (...)])
+/// body...)` into a `%retry-call` invocation carrying an inline retry
+/// handler: BODY runs under a handler that retries matching conditions
+/// up to N times, then transfers to the `give-up` restart, whose value
+/// is EXPR (nil without a fallback). `:on` limits which condition
+/// designators are retried (default: every error).
+fn expand_with_retries(args: &[Value]) -> VmResult<Value> {
+    let Some(opts) = args.first().map(|v| v.as_list().unwrap_or(&[]).to_vec()) else {
+        return Err(VmError::Compile(
+            "with-retries requires an options list".into(),
+        ));
+    };
+    if !opts.len().is_multiple_of(2) {
+        return Err(VmError::Compile("with-retries options must be pairs".into()));
+    }
+    let mut count = Value::Int(3);
+    let mut name = Value::str("with-retries");
+    let mut fallback = Value::Nil;
+    let mut on = Value::Nil;
+    let mut i = 0;
+    while i < opts.len() {
+        let Some(k) = opts[i].as_keyword() else {
+            return Err(VmError::Compile(format!(
+                "with-retries: expected a keyword, got {:?}",
+                opts[i]
+            )));
+        };
+        let v = opts[i + 1].clone();
+        match k.name() {
+            "count" => count = v,
+            "name" => name = v,
+            "fallback" => fallback = v,
+            "on" => on = v,
+            other => {
+                return Err(VmError::Compile(format!(
+                    "with-retries: unknown option :{other}"
+                )));
+            }
+        }
+        i += 2;
+    }
+    let mut handler = AssocMap::new();
+    handler.insert(Value::keyword("name"), name);
+    handler.insert(Value::keyword("action"), Value::symbol("retry"));
+    handler.insert(Value::keyword("count"), count);
+    if !on.is_nil() {
+        handler.insert(Value::keyword("code"), on);
+    }
+    let mut thunk = vec![Value::symbol("lambda"), Value::Nil];
+    thunk.extend_from_slice(&args[1..]);
+    Ok(Value::list(vec![
+        Value::symbol("%retry-call"),
+        Value::list(thunk),
+        Value::list(vec![
+            Value::symbol("quote"),
+            Value::Map(Arc::new(handler)),
+        ]),
+        Value::list(vec![Value::symbol("lambda"), Value::Nil, fallback]),
+    ]))
+}
+
 // ---- defhandler / with-handler actions -------------------------------------
 
 /// Run one named handler (created by `defhandler`) against a signaled
@@ -636,12 +754,16 @@ fn run_handler(ctx: &mut NativeCtx<'_>, handler: &Value, condition: &Value) -> V
                     .and_then(Value::as_int)
                     .unwrap_or(0);
                 if used >= limit {
-                    return NativeOutcome::ok(Value::Nil); // decline
+                    // Budget spent: transfer to a `give-up` restart if
+                    // one is established (e.g. by `with-retries`'
+                    // fallback), otherwise decline to the next handler.
+                    return invoke_named_restart(ctx, "give-up");
                 }
                 ctx.ext.set(&key, Value::Int(used + 1));
             }
             invoke_named_restart(ctx, "retry")
         }
+        "give-up" => invoke_named_restart(ctx, "give-up"),
         "break" => Err(VmError::Unwind(Unwind::BreakFiber)),
         "terminate" => Err(VmError::Unwind(Unwind::TerminateTask(cond))),
         custom => {

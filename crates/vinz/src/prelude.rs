@@ -48,6 +48,17 @@ as conditions whose designators include the fault's QName (so defhandler
   `(handler-bind (lambda (c) (%run-handler ,handler c))
      ,@body))
 
+;; Runtime of the with-retries macro (expanded in natives.rs): run THUNK
+;; under HANDLER with `retry` and `give-up` restarts established. The
+;; handler's :count bounds the recursion (the per-fiber retries counter
+;; lives in the fiber's extension slots); once spent, %run-handler
+;; transfers to give-up and FALLBACK supplies the value.
+(defun %retry-call (thunk handler fallback)
+  (restart-case
+      (with-handler handler (funcall thunk))
+    (retry () (%retry-call thunk handler fallback))
+    (give-up () (funcall fallback))))
+
 ;;; ---- fiber termination helpers (the §3.7 actions, callable directly) ----
 (defun break-fiber ()
   "Terminate the current fiber cleanly, returning nil to its parent."

@@ -31,6 +31,7 @@ use parking_lot::RwLock;
 use crate::cache::FiberCache;
 use crate::locks::{InProcessLocks, LockManager};
 use crate::store::{MemStore, StateStore};
+use crate::supervisor::{self, RetryPolicy, SupervisorConfig};
 use crate::trace::{Trace, TraceKind};
 use crate::tracker::{TaskRecord, TaskStatus, TaskTracker};
 
@@ -63,6 +64,15 @@ pub struct VinzConfig {
     /// costs are tracked regardless because they are a handful of
     /// atomic adds per persist.
     pub profiling: bool,
+    /// How long a task waits for its children / join targets before the
+    /// blocking wait paths give up (the old hard-coded 600s). Child
+    /// tasks inherit the value through the `join-deadline-ms` extension
+    /// slot stamped at `Start`.
+    pub join_deadline: Duration,
+    /// Engine-level retry policy for async service calls.
+    pub retry: RetryPolicy,
+    /// Deployment supervisor tunables (respawn, orphan resume).
+    pub supervision: SupervisorConfig,
 }
 
 impl Default for VinzConfig {
@@ -76,6 +86,9 @@ impl Default for VinzConfig {
             awake_wait_limit: Duration::from_millis(50),
             future_pool_size: 2,
             profiling: false,
+            join_deadline: Duration::from_secs(600),
+            retry: RetryPolicy::default(),
+            supervision: SupervisorConfig::default(),
         }
     }
 }
@@ -101,6 +114,15 @@ pub struct VinzMetrics {
     pub taskvar_hits: AtomicU64,
     /// Task-variable reads served from the store.
     pub taskvar_misses: AtomicU64,
+    /// Times the supervisor re-provisioned a dead deployment.
+    pub supervisor_respawns: AtomicU64,
+    /// Orphaned continuations the supervisor re-sent resume messages for.
+    pub orphans_resumed: AtomicU64,
+    /// Async service calls re-dispatched by the retry policy.
+    pub calls_retried: AtomicU64,
+    /// Tasks terminally failed because a message of theirs was
+    /// dead-lettered.
+    pub tasks_dead_lettered: AtomicU64,
 }
 
 /// One node's runtime: a GVM (the "JVM" of that node) and its fiber
@@ -238,6 +260,13 @@ impl WorkflowServiceBuilder {
             inner: Arc::downgrade(&inner),
         };
         self.cluster.register_service(&self.name, None, Arc::new(handler));
+        if inner.config.supervision.enabled {
+            supervisor::start(&inner);
+        }
+        // Dead letters must reach the tracker even with supervision
+        // off: quarantine is a broker decision, and a task whose
+        // message was quarantined will never finish on its own.
+        supervisor::install_dead_letter_observer(&inner);
         let service = WorkflowService { inner };
         for (node_id, count) in self.instances {
             service.spawn_instances(node_id, count);
@@ -534,6 +563,26 @@ fn register_vinz_metrics(obs: &Arc<Obs>, metrics: &Arc<VinzMetrics>, service: &s
             "vinz_taskvar_cache_misses_total",
             "Task-variable reads served by the store.",
             |m| &m.taskvar_misses,
+        ),
+        (
+            "vinz_supervisor_respawns_total",
+            "Dead deployments re-provisioned by the supervisor.",
+            |m| &m.supervisor_respawns,
+        ),
+        (
+            "vinz_orphans_resumed_total",
+            "Orphaned continuations resumed by the supervisor.",
+            |m| &m.orphans_resumed,
+        ),
+        (
+            "vinz_calls_retried_total",
+            "Async service calls re-dispatched by the retry policy.",
+            |m| &m.calls_retried,
+        ),
+        (
+            "vinz_tasks_dead_lettered_total",
+            "Tasks terminally failed by dead-lettered messages.",
+            |m| &m.tasks_dead_lettered,
         ),
     ] {
         reg.counter_fn(name, help, &labels, mirror(metrics, field));
@@ -847,6 +896,10 @@ impl Inner {
         state
             .ext
             .set("spawn-limit", Value::Int(self.config.spawn_limit as i64));
+        state.ext.set(
+            "join-deadline-ms",
+            Value::Int(self.config.join_deadline.as_millis() as i64),
+        );
         if let Some(d) = msg.get_header("deadline-ms") {
             state.ext.set("deadline-ms", Value::str(d));
         }
@@ -894,7 +947,7 @@ impl Inner {
         let task_id_bytes = self.op_start(ctx, msg)?;
         let task_id = String::from_utf8_lossy(&task_id_bytes).into_owned();
         self.tracker
-            .wait(&task_id, Duration::from_secs(600))
+            .wait(&task_id, self.config.join_deadline)
             .ok_or_else(|| VinzError(format!("task {task_id} did not finish")))?;
         Ok(task_id_bytes)
     }
@@ -1048,8 +1101,10 @@ impl Inner {
         };
         let fiber_id = String::from_utf8_lossy(&fiber_bytes).into_owned();
         let task_id = Inner::task_of(&fiber_id).to_string();
+        let call_req_key = format!("call-req/{correlation}");
         if self.task_finished(&task_id) {
             let _ = self.store.delete(&corr_key);
+            let _ = self.store.delete(&call_req_key);
             return Ok(Vec::new());
         }
         let Some(_guard) = self
@@ -1062,6 +1117,7 @@ impl Inner {
         match self.get_phase(&fiber_id)?.as_str() {
             "done" => {
                 let _ = self.store.delete(&corr_key);
+                let _ = self.store.delete(&call_req_key);
                 return Ok(Vec::new());
             }
             "initial" => {
@@ -1073,7 +1129,38 @@ impl Inner {
             }
             _ => {}
         }
+        // Engine-level retry: a faulted reply with attempts left on the
+        // durable call record is re-dispatched (same correlation, so a
+        // late original reply still resumes the fiber) instead of being
+        // surfaced to the workflow. The fiber only sees the fault once
+        // the budget is spent.
+        if msg.get_header("fault-code").is_some() {
+            if let Ok(Some(bytes)) = self.store.get(&call_req_key) {
+                if let Some(mut req) = crate::supervisor::CallReq::decode(&bytes) {
+                    if req.attempts < self.config.retry.max_attempts {
+                        req.attempts += 1;
+                        self.store
+                            .put(&call_req_key, &req.encode())
+                            .map_err(|e| VinzError(e.to_string()))?;
+                        let corr_num = correlation.parse::<u64>().unwrap_or(0);
+                        let delay = self.config.retry.delay_for(req.attempts - 1, corr_num);
+                        self.metrics.calls_retried.fetch_add(1, Ordering::Relaxed);
+                        self.obs.bus.emit(
+                            gozer_obs::Event::new(gozer_obs::EventKind::CallRetried {
+                                attempt: req.attempts,
+                            })
+                            .task(task_id.as_str())
+                            .fiber(fiber_id.as_str()),
+                        );
+                        self.cluster
+                            .send_after(req.to_message(&self.name, corr_num), delay);
+                        return Ok(Vec::new());
+                    }
+                }
+            }
+        }
         let _ = self.store.delete(&corr_key);
+        let _ = self.store.delete(&call_req_key);
         let rt = self.node_runtime(ctx.node_id)?;
         self.check_task_def(&rt, &task_id)?;
         // The resume value is the response map the generated deflink stubs
@@ -1235,10 +1322,23 @@ impl Inner {
                         .and_then(|v| v.as_str().map(str::to_owned))
                         .ok_or_else(|| VinzError("join suspension without target".into()))?;
                     self.save_fiber(rt, ctx.instance_id, fiber_id, susp.state)?;
+                    // Breadcrumb for the supervisor's orphan scan: what
+                    // this fiber is waiting on. Written before the phase
+                    // flips to "suspended" so a scan never sees a
+                    // suspended fiber without its crumb.
+                    self.store
+                        .put(
+                            &format!("susp/{fiber_id}"),
+                            format!("{reason}\n{target}").as_bytes(),
+                        )
+                        .map_err(|e| VinzError(e.to_string()))?;
                     self.set_phase(fiber_id, "suspended")?;
                     self.register_join_waiter(&target, fiber_id)?;
                 } else {
                     self.save_fiber(rt, ctx.instance_id, fiber_id, susp.state)?;
+                    self.store
+                        .put(&format!("susp/{fiber_id}"), reason.as_bytes())
+                        .map_err(|e| VinzError(e.to_string()))?;
                     self.set_phase(fiber_id, "suspended")?;
                 }
             }

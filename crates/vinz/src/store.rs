@@ -117,11 +117,23 @@ impl StateStore for MemStore {
 
 /// Directory-backed store: one file per key (slashes become `__`),
 /// emulating the shared NFS filesystem.
+///
+/// Writes are crash-atomic: the payload is framed with a checksum,
+/// written to a temp file, fsynced, and renamed into place, so a node
+/// that dies mid-`put` leaves either the old value or the new one —
+/// never a torn file. `get` verifies the frame and reports a torn or
+/// bit-rotted record as an error instead of handing back garbage bytes
+/// for the resume path to deserialize.
 pub struct FileStore {
     dir: PathBuf,
     written: AtomicU64,
     read: AtomicU64,
 }
+
+/// Frame header: magic + CRC32(payload) + payload length, all fsynced
+/// with the payload before the rename publishes the record.
+const FILE_MAGIC: &[u8; 4] = b"GZS1";
+const FILE_HEADER_LEN: usize = 4 + 4 + 8;
 
 impl FileStore {
     /// Create (the directory is created if missing).
@@ -138,20 +150,67 @@ impl FileStore {
     fn path(&self, key: &str) -> PathBuf {
         self.dir.join(key.replace('/', "__"))
     }
+
+    fn frame(data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FILE_HEADER_LEN + data.len());
+        out.extend_from_slice(FILE_MAGIC);
+        out.extend_from_slice(&gozer_compress::crc32(data).to_le_bytes());
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(data);
+        out
+    }
+
+    /// Strip and verify the frame. Files without the magic are passed
+    /// through unchanged (records written before framing existed).
+    fn unframe(key: &str, raw: Vec<u8>) -> Result<Vec<u8>, StoreError> {
+        if raw.len() < FILE_HEADER_LEN || &raw[..4] != FILE_MAGIC {
+            return Ok(raw);
+        }
+        let stored_crc = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+        let stored_len = u64::from_le_bytes(raw[8..16].try_into().unwrap()) as usize;
+        let payload = &raw[FILE_HEADER_LEN..];
+        if payload.len() != stored_len {
+            return Err(StoreError(format!(
+                "torn write detected for {key}: expected {stored_len} payload bytes, found {}",
+                payload.len()
+            )));
+        }
+        let crc = gozer_compress::crc32(payload);
+        if crc != stored_crc {
+            return Err(StoreError(format!(
+                "checksum mismatch for {key}: stored {stored_crc:#010x}, computed {crc:#010x}"
+            )));
+        }
+        Ok(payload.to_vec())
+    }
 }
 
 impl StateStore for FileStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<(), StoreError> {
+        // IO accounting counts the payload, as MemStore does — the frame
+        // is a durability overhead, not workflow state.
         self.written.fetch_add(data.len() as u64, Ordering::Relaxed);
-        // Write-then-rename for atomic visibility to other "nodes".
         let tmp = self.path(&format!("{key}.tmp.{:x}", fastrand_u64()));
-        std::fs::write(&tmp, data).map_err(|e| StoreError(e.to_string()))?;
-        std::fs::rename(&tmp, self.path(key)).map_err(|e| StoreError(e.to_string()))
+        let write = || -> std::io::Result<()> {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&Self::frame(data))?;
+            // Durability point: the frame must be on disk before the
+            // rename can publish it, or a crash could expose a record
+            // whose name is new but whose bytes are not.
+            f.sync_all()?;
+            std::fs::rename(&tmp, self.path(key))
+        };
+        write().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            StoreError(e.to_string())
+        })
     }
 
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
         match std::fs::read(self.path(key)) {
-            Ok(data) => {
+            Ok(raw) => {
+                let data = Self::unframe(key, raw)?;
                 self.read.fetch_add(data.len() as u64, Ordering::Relaxed);
                 Ok(Some(data))
             }
@@ -235,6 +294,51 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("gozer-fs-test-{}", fastrand_u64()));
         let store = FileStore::new(&dir).unwrap();
         exercise(&store);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn file_store_detects_torn_writes() {
+        let dir = std::env::temp_dir().join(format!("gozer-fs-torn-{}", fastrand_u64()));
+        let store = FileStore::new(&dir).unwrap();
+        store.put("fiber/1", b"serialized continuation bytes").unwrap();
+
+        // Truncate the record mid-payload, as a crash between the data
+        // blocks reaching disk would.
+        let path = store.path("fiber/1");
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.truncate(raw.len() - 5);
+        std::fs::write(&path, &raw).unwrap();
+        let err = store.get("fiber/1").unwrap_err();
+        assert!(err.0.contains("torn write"), "{err}");
+
+        // Corrupt a payload byte without changing the length: the
+        // checksum catches what the length check cannot.
+        store.put("fiber/2", b"serialized continuation bytes").unwrap();
+        let path = store.path("fiber/2");
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let err = store.get("fiber/2").unwrap_err();
+        assert!(err.0.contains("checksum mismatch"), "{err}");
+
+        // A rewrite through put() heals the key.
+        store.put("fiber/2", b"fresh").unwrap();
+        assert_eq!(store.get("fiber/2").unwrap(), Some(b"fresh".to_vec()));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn file_store_reads_unframed_legacy_records() {
+        let dir = std::env::temp_dir().join(format!("gozer-fs-legacy-{}", fastrand_u64()));
+        let store = FileStore::new(&dir).unwrap();
+        // A record written by the pre-framing store: raw bytes, no magic.
+        std::fs::write(store.path("old/key"), b"plain legacy payload").unwrap();
+        assert_eq!(
+            store.get("old/key").unwrap(),
+            Some(b"plain legacy payload".to_vec())
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 

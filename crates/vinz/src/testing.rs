@@ -3,6 +3,7 @@
 //! production workflow calls (security managers, pricing engines, ...).
 
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex as StdMutex, Once, Weak};
 use std::time::{Duration, Instant};
 
@@ -113,22 +114,26 @@ pub struct ChaosRun {
     pub value: Value,
     /// Faults actually injected.
     pub stats: ChaosStatsSnapshot,
-    /// Whether the run stalled (all instances crashed) and needed the
-    /// recovery step — disarm the plan, spawn fresh instances, resume
-    /// from persisted continuations — to finish.
+    /// Whether the recovery layer had to intervene: broker lease
+    /// reclaims, supervisor respawns, or supervisor-resumed orphans
+    /// were observed during the run.
     pub recovered: bool,
+    /// Whether the chaos plan was still armed when the task finished —
+    /// the harness never disarms it, so this is false only for
+    /// `ChaosConfig::off` plans.
+    pub armed: bool,
     /// The merged execution profile of the run (the harness deploys
     /// with profiling on, so a sweep can assert opcode and call counts
     /// are schedule-independent).
     pub profile: ProfileReport,
 }
 
-/// Deploy `source` on a fresh 2-node cluster, run
-/// `function(args)` under the given chaos plan, and enforce the
-/// survivability contract: the task either completes under chaos, or —
-/// after every instance has crashed — completes once fresh instances
-/// are spawned, resuming from its persisted continuations. Either way
-/// the value must be exactly what a fault-free run produces.
+/// Deploy `source` on a fresh 2-node cluster, run `function(args)`
+/// under the given chaos plan — which stays armed for the whole run —
+/// and enforce the survivability contract: the task completes without
+/// any harness intervention, the recovery layer (broker lease reaper +
+/// deployment supervisor) absorbing every crash and node kill, and the
+/// value must be exactly what a fault-free run produces.
 ///
 /// Returns `Err` (with diagnostics, not a panic) when the contract is
 /// violated, so sweeps can attach the failing seed's repro command.
@@ -175,32 +180,24 @@ pub fn run_workflow_under_chaos_flight(
         .start(function, args, None)
         .map_err(|e| format!("seed {seed}: start failed: {e}"))?;
 
-    // Phase 1: run under chaos until the task finishes or the cluster
-    // is extinguished (every instance crashed).
-    let phase1 = Instant::now();
-    let mut record = None;
-    while phase1.elapsed() < Duration::from_secs(20) {
-        if let Some(rec) = workflow.wait(&task, Duration::from_millis(50)) {
-            record = Some(rec);
-            break;
-        }
-        if cluster.live_instances(SERVICE) == 0 {
-            break;
-        }
-    }
-
-    // Phase 2 (only if stalled): the survivability claim — state lives
-    // in the store, not in instances — means fresh instances must be
-    // able to finish the job. Disarm so recovery itself runs clean.
-    let mut recovered = false;
-    if record.is_none() {
-        recovered = true;
-        plan.disarm();
-        workflow.spawn_instances(90, 2);
-        record = workflow.wait(&task, Duration::from_secs(30));
-    }
+    // One armed wait: chaos is never disarmed and the harness never
+    // spawns replacement instances. Crashed instances abandon their
+    // leases to the broker's reaper; an extinguished deployment is
+    // re-provisioned by the supervisor; orphaned continuations are
+    // resumed from the store. Node failure is a non-event.
+    let record = workflow.wait(&task, Duration::from_secs(45));
 
     let stats = plan.snapshot();
+    let armed = plan.is_armed();
+    let recovery = cluster.recovery_stats();
+    let recovered = {
+        let obs = workflow.obs();
+        let counters = obs.counters();
+        recovery.reclaims > 0
+            || recovery.dead_letters > 0
+            || counters.supervisor_respawns.load(Ordering::Relaxed) > 0
+            || counters.orphans_resumed.load(Ordering::Relaxed) > 0
+    };
     // Drain stragglers before reading the profile: a chaos-duplicated
     // Start spawns a second task whose execution would otherwise race
     // the snapshot, making per-seed profile comparisons flaky. Wait for
@@ -260,6 +257,7 @@ pub fn run_workflow_under_chaos_flight(
                 value,
                 stats,
                 recovered,
+                armed,
                 profile,
             })
         }

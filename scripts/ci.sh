@@ -27,6 +27,11 @@ run "$CARGO" test -p vinz --test chaos $OFFLINE -- --nocapture
 run "$CARGO" test -p bluebox chaos $OFFLINE
 run "$CARGO" test --test survivability $OFFLINE
 
+# Recovery gate: the armed sweep (chaos stays enabled; leases,
+# supervisor, and retries absorb every failure) plus the dead-letter
+# quarantine assertions.
+run make recovery-check
+
 # Observability gate: the text exporter must serve all required metric
 # families with non-zero activity after a real workflow run.
 run make obs-check

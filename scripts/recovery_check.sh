@@ -1,0 +1,40 @@
+#!/bin/sh
+# recovery-check: the production-recovery gate.
+#
+# 1. The *armed* sweep — the full recovery suite (lease reclaim,
+#    supervisor respawn/orphan resume, engine call retry, call-timeout
+#    synthesis) with chaos enabled for the entire run and no harness
+#    respawns anywhere. A failing seed prints its own replay command.
+# 2. The dead-letter assertion — a poison message must land in
+#    quarantine after the redelivery budget, surface as
+#    gozer_dead_letters_total in the metrics export, and terminate its
+#    task with a Failed record (checked on both the bluebox and vinz
+#    sides).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CARGO="${CARGO:-cargo}"
+OFFLINE="${CARGO_OFFLINE:---offline}"
+CHAOS_SEEDS="${CHAOS_SEEDS:-16}"
+export CHAOS_SEEDS
+
+run() {
+    echo "+ $*"
+    "$@"
+}
+
+# The armed sweep and its satellites (includes the flaky-service
+# convergence sweep and the supervisor respawn test).
+run "$CARGO" test -p vinz --test recovery $OFFLINE -- --nocapture
+
+# Dead-letter lifecycle, broker side: budget spend, quarantine,
+# observers, and the metrics family.
+run "$CARGO" test -p bluebox --test recovery $OFFLINE
+
+# Dead-letter lifecycle, task side: the quarantined message's task ends
+# Failed with the counters moved.
+run "$CARGO" test -p vinz --test recovery $OFFLINE \
+    poisoned_run_fiber_dead_letters_and_fails_the_task -- --exact
+
+echo "recovery-check: OK (armed sweep width $CHAOS_SEEDS)"
