@@ -102,9 +102,204 @@ impl Series {
     }
 }
 
+// ---- machine-readable reports ---------------------------------------------
+
+/// A JSON value, hand-rolled (the workspace carries no serde): just what
+/// the `BENCH_*.json` baselines need — objects with stable key order,
+/// arrays, numbers, strings, booleans.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// An integer (rendered without a fraction).
+    Int(i64),
+    /// A float (rendered via Rust's shortest-round-trip `Display`; NaN
+    /// and infinities render as `null`).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder: `Json::obj().field("a", 1).field("b", "x")`.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Add (or append) a field to an object; panics on non-objects,
+    /// which is always a bench-authoring bug.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = |out: &mut String, n: usize| out.push_str(&"  ".repeat(n));
+        match self {
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(f) if f.is_finite() => out.push_str(&f.to_string()),
+            Json::Num(_) => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    Json::Str(k.clone()).render_into(out, indent + 1);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Render as pretty-printed JSON (two-space indent, trailing
+    /// newline), deterministic for committed baselines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Write the rendered document to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// The `--json <path>` CLI convention shared by the bench binaries:
+/// when present, the bench writes its machine-readable report there
+/// (the committed `BENCH_*.json` baselines) in addition to the tables
+/// it prints.
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// True when `BENCH_SMOKE=1`: benches shrink their populations so the
+/// CI bench-smoke step finishes in seconds while still producing a
+/// structurally complete JSON report.
+pub fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_renders_deterministically() {
+        let doc = Json::obj()
+            .field("bench", "demo")
+            .field("count", 3u64)
+            .field("rate", 0.25)
+            .field("ok", true)
+            .field("runs", vec![Json::Int(1), Json::obj().field("x", "a\"b")]);
+        let text = doc.render();
+        assert_eq!(text, doc.render());
+        assert!(text.contains("\"bench\": \"demo\""));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"rate\": 0.25"));
+        assert!(text.contains("\\\"b\""));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert!(Json::Num(f64::NAN).render().contains("null"));
+        assert!(Json::Num(f64::INFINITY).render().contains("null"));
+    }
 
     #[test]
     fn table_renders_aligned() {

@@ -107,6 +107,13 @@ pub struct Cluster {
     next_corr: AtomicU64,
     next_instance: AtomicU64,
     policy: Policy,
+    /// Steal slack applied to queues created from now on (see
+    /// [`ServiceQueue::with_affinity_slack`]).
+    affinity_slack: RwLock<usize>,
+    /// Maps a fiber id to its affine node, so service replies
+    /// (`ResumeFromCall`) inherit the placement hint of the fiber they
+    /// resume. Installed by the embedder (Vinz).
+    affinity_resolver: RwLock<Option<Arc<dyn Fn(&str) -> Option<u32> + Send + Sync>>>,
     chaos: RwLock<Option<Arc<ChaosPlan>>>,
     /// Broker metrics.
     pub metrics: Arc<Metrics>,
@@ -181,6 +188,8 @@ impl Cluster {
             next_corr: AtomicU64::new(1),
             next_instance: AtomicU64::new(1),
             policy,
+            affinity_slack: RwLock::new(crate::queue::DEFAULT_AFFINITY_SLACK),
+            affinity_resolver: RwLock::new(None),
             chaos: RwLock::new(None),
             metrics,
             obs,
@@ -197,6 +206,21 @@ impl Cluster {
             closed: AtomicBool::new(false),
             reaper: Mutex::new(None),
         });
+        // Affinity delivery counters, summed across all service queues.
+        let weak = Arc::downgrade(&cluster);
+        cluster.obs.registry.counter_fn(
+            "gozer_affinity_hits_total",
+            "Affinity-stamped messages delivered to their affine node.",
+            "",
+            move || weak.upgrade().map_or(0, |c| c.affinity_stats().0),
+        );
+        let weak = Arc::downgrade(&cluster);
+        cluster.obs.registry.counter_fn(
+            "gozer_affinity_misses_total",
+            "Affinity-stamped messages delivered elsewhere (steal or dead node).",
+            "",
+            move || weak.upgrade().map_or(0, |c| c.affinity_stats().1),
+        );
         let weak = Arc::downgrade(&cluster);
         let reaper = std::thread::Builder::new()
             .name("bb-reaper".into())
@@ -204,6 +228,33 @@ impl Cluster {
             .expect("spawn reaper thread");
         *cluster.reaper.lock() = Some(reaper);
         cluster
+    }
+
+    /// Set the affinity steal slack for queues created from now on
+    /// (0 disables affinity preference). Call before deploying services.
+    pub fn set_affinity_slack(&self, slack: usize) {
+        *self.affinity_slack.write() = slack;
+    }
+
+    /// Install the fiber-id → affine-node resolver used to stamp service
+    /// replies (`ResumeFromCall`) with the placement hint of the fiber
+    /// they resume. Replaces any previous resolver.
+    pub fn set_affinity_resolver(
+        &self,
+        f: impl Fn(&str) -> Option<u32> + Send + Sync + 'static,
+    ) {
+        *self.affinity_resolver.write() = Some(Arc::new(f));
+    }
+
+    /// Affinity delivery counters summed across queues, as
+    /// `(hits, misses)` — the `gozer_affinity_hits_total` /
+    /// `gozer_affinity_misses_total` metrics.
+    pub fn affinity_stats(&self) -> (u64, u64) {
+        let queues = self.queues.read();
+        queues.values().fold((0, 0), |(h, m), q| {
+            let (qh, qm) = q.affinity_counts();
+            (h + qh, m + qm)
+        })
     }
 
     /// The cluster's observability handle: the shared event bus and
@@ -234,9 +285,10 @@ impl Cluster {
             return q.clone();
         }
         let mut queues = self.queues.write();
+        let slack = *self.affinity_slack.read();
         queues
             .entry(service.to_string())
-            .or_insert_with(|| Arc::new(ServiceQueue::new(self.policy)))
+            .or_insert_with(|| Arc::new(ServiceQueue::with_affinity_slack(self.policy, slack)))
             .clone()
     }
 
@@ -442,6 +494,15 @@ impl Cluster {
                 for key in ["task-id", "fiber-id"] {
                     if let Some(v) = request.get_header(key) {
                         reply = reply.header(key, v.to_string());
+                    }
+                }
+                // ResumeFromCall replies race back to the fiber's cache:
+                // stamp them with the node that last saved the fiber.
+                if let Some(resolver) = self.affinity_resolver.read().clone() {
+                    if let Some(node) =
+                        request.get_header("fiber-id").and_then(|id| resolver(id))
+                    {
+                        reply = reply.with_affinity(node);
                     }
                 }
                 match result {
@@ -718,12 +779,16 @@ fn instance_loop(
     control: Arc<InstanceControl>,
 ) {
     let cluster = ctx.cluster.clone();
+    // Announce this node to the queue so affinity-stamped messages can
+    // find it; withdrawn after the loop on *every* exit path (stop,
+    // fault, crash) so dead nodes never pin their messages.
+    queue.register_consumer(ctx.node_id);
     loop {
         *control.heartbeat.lock() = Instant::now();
         if control.stop.load(Ordering::Relaxed) {
             break;
         }
-        let Some(msg) = queue.pop(Duration::from_millis(50)) else {
+        let Some(msg) = queue.pop_for(ctx.node_id, Duration::from_millis(50)) else {
             // Timeout, close, or interrupt: check the stop/fault flags
             // and retry.
             if control.fault.lock().is_some() {
@@ -852,6 +917,7 @@ fn instance_loop(
         metrics.add(&metrics.completed, 1);
         queue.settle();
     }
+    queue.deregister_consumer(ctx.node_id);
 }
 
 /// Die holding `msg`: mark this instance dead and abandon the message —

@@ -46,6 +46,12 @@ pub struct Message {
     pub deadline: Option<Instant>,
     /// Where the handler's reply goes.
     pub reply_to: ReplyTo,
+    /// Placement hint: the node whose fiber cache most likely holds this
+    /// message's continuation (the node that last saved it). The queue
+    /// *prefers* delivering to a consumer on this node but never requires
+    /// it — see `ServiceQueue` for the slack/steal rules — so routing
+    /// degrades to plain load balancing when the node is dead or behind.
+    pub affinity: Option<u32>,
     /// Time the message entered the queue.
     pub enqueued_at: Instant,
     /// Number of times this delivery was re-queued after instance
@@ -66,9 +72,16 @@ impl Message {
             priority: 0,
             deadline: None,
             reply_to: ReplyTo::Nowhere,
+            affinity: None,
             enqueued_at: Instant::now(),
             redeliveries: 0,
         }
+    }
+
+    /// Builder: set the affinity placement hint.
+    pub fn with_affinity(mut self, node: u32) -> Message {
+        self.affinity = Some(node);
+        self
     }
 
     /// Builder: set a header.

@@ -1,7 +1,21 @@
-//! A per-service message queue with pluggable scheduling policy and
-//! blocking competing-consumer receive.
+//! A per-service message queue with pluggable scheduling policy,
+//! blocking competing-consumer receive, and affinity-aware delivery.
+//!
+//! Messages live in one ordered index keyed by `(policy rank, arrival)`,
+//! so the next message under any policy is the *first* map entry —
+//! O(log n) per push/pop instead of the old O(n) best-match scan — and
+//! FCFS-within-priority falls out of the arrival component of the key.
+//!
+//! Affinity (paper §4.2): a message may carry a *placement hint* naming
+//! the node whose fiber cache most likely holds its continuation. The
+//! queue then prefers a consumer on that node: other consumers skip the
+//! message unless the affine node is dead (no registered consumers) or
+//! behind (its affine backlog exceeds a configurable slack), in which
+//! case delivery degrades to plain load balancing. Skipped messages stay
+//! in order, so affinity never reorders work destined for the same node.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -25,9 +39,23 @@ pub enum Policy {
     Edf,
 }
 
+/// Default steal slack: how many waiting affine messages a node may
+/// accumulate before other nodes start taking them.
+pub const DEFAULT_AFFINITY_SLACK: usize = 2;
+
+/// Ordered-index key: policy rank first, arrival order within a rank.
+/// Arrival keys are strided so displaced (re-ordered) inserts can claim
+/// gaps without renumbering.
+type SelKey = (i64, i64);
+
+const ARRIVAL_STRIDE: i64 = 1 << 10;
+
 struct QueueState {
-    messages: VecDeque<(u64, Message)>,
-    next_seq: u64,
+    messages: BTreeMap<SelKey, Message>,
+    /// Arrival key for the next normal push (grows by the stride).
+    next_seq: i64,
+    /// Arrival key for the next front-of-class push (shrinks).
+    front_seq: i64,
     closed: bool,
     /// Messages handed to a consumer by [`ServiceQueue::pop`] whose
     /// processing has not yet been settled. Incremented under the queue
@@ -40,6 +68,31 @@ struct QueueState {
     /// when they observe a new epoch so consumers can re-check control
     /// flags without waiting out their timeout.
     interrupt_epoch: u64,
+    /// Registered consumer count per node id; a node with no entries is
+    /// *dead* for affinity purposes and its messages are free to take.
+    consumers: HashMap<u32, usize>,
+    /// Waiting (not yet popped) messages per affinity node — the
+    /// backlog the slack rule compares against.
+    affine_depth: HashMap<u32, usize>,
+}
+
+impl QueueState {
+    fn note_queued(&mut self, m: &Message) {
+        if let Some(a) = m.affinity {
+            *self.affine_depth.entry(a).or_insert(0) += 1;
+        }
+    }
+
+    fn note_dequeued(&mut self, m: &Message) {
+        if let Some(a) = m.affinity {
+            if let Some(d) = self.affine_depth.get_mut(&a) {
+                *d = d.saturating_sub(1);
+                if *d == 0 {
+                    self.affine_depth.remove(&a);
+                }
+            }
+        }
+    }
 }
 
 /// A service queue.
@@ -48,56 +101,191 @@ pub struct ServiceQueue {
     cond: Condvar,
     idle_cond: Condvar,
     policy: Policy,
+    /// Reference instant for EDF deadline ranking.
+    epoch: Instant,
+    affinity_slack: usize,
+    /// Deliveries of affinity-stamped messages to their affine node.
+    affinity_hits: AtomicU64,
+    /// Deliveries of affinity-stamped messages elsewhere (steal or dead
+    /// node fallback).
+    affinity_misses: AtomicU64,
 }
 
 impl ServiceQueue {
-    /// Queue with the given policy.
+    /// Queue with the given policy and the default affinity slack.
     pub fn new(policy: Policy) -> ServiceQueue {
+        ServiceQueue::with_affinity_slack(policy, DEFAULT_AFFINITY_SLACK)
+    }
+
+    /// Queue with an explicit affinity steal slack. Slack 0 disables
+    /// affinity preference entirely (every consumer takes the head).
+    pub fn with_affinity_slack(policy: Policy, affinity_slack: usize) -> ServiceQueue {
         ServiceQueue {
             state: Mutex::new(QueueState {
-                messages: VecDeque::new(),
+                messages: BTreeMap::new(),
                 next_seq: 0,
+                front_seq: -ARRIVAL_STRIDE,
                 closed: false,
                 leased: 0,
                 interrupt_epoch: 0,
+                consumers: HashMap::new(),
+                affine_depth: HashMap::new(),
             }),
             cond: Condvar::new(),
             idle_cond: Condvar::new(),
             policy,
+            epoch: Instant::now(),
+            affinity_slack,
+            affinity_hits: AtomicU64::new(0),
+            affinity_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Policy rank of a message: the primary sort key of the ordered
+    /// index. Smaller ranks deliver first.
+    fn rank(&self, m: &Message) -> i64 {
+        match self.policy {
+            Policy::Fcfs => 0,
+            Policy::Priority => -(m.priority as i64),
+            Policy::Edf => m
+                .deadline
+                .map(|d| {
+                    d.saturating_duration_since(self.epoch)
+                        .as_nanos()
+                        .min((i64::MAX - 1) as u128) as i64
+                })
+                .unwrap_or(i64::MAX),
         }
     }
 
     /// Enqueue.
     pub fn push(&self, msg: Message) {
+        let rank = self.rank(&msg);
         let mut st = self.state.lock();
         let seq = st.next_seq;
-        st.next_seq += 1;
-        st.messages.push_back((seq, msg));
+        st.next_seq += ARRIVAL_STRIDE;
+        st.note_queued(&msg);
+        st.messages.insert((rank, seq), msg);
         drop(st);
-        self.cond.notify_one();
+        // notify_all, not notify_one: with affinity in play the woken
+        // consumer may skip the new message, and it must not swallow the
+        // wakeup meant for the affine node's consumer.
+        self.cond.notify_all();
     }
 
     /// Re-enqueue a message after a failed delivery, preserving arrival
-    /// fairness as well as possible (front of queue).
+    /// fairness as well as possible (front of its rank class).
     pub fn push_front(&self, mut msg: Message) {
         msg.redeliveries += 1;
+        let rank = self.rank(&msg);
         let mut st = self.state.lock();
-        st.messages.push_front((0, msg));
+        let seq = st.front_seq;
+        st.front_seq -= ARRIVAL_STRIDE;
+        st.note_queued(&msg);
+        st.messages.insert((rank, seq), msg);
         drop(st);
-        self.cond.notify_one();
+        self.cond.notify_all();
     }
 
     /// Enqueue displaced `slots` positions ahead of the back of the
     /// queue — a deterministic FCFS-order violation used by the chaos
     /// layer to simulate broker reordering.
     pub fn push_displaced(&self, msg: Message, slots: usize) {
+        let rank = self.rank(&msg);
         let mut st = self.state.lock();
-        let seq = st.next_seq;
-        st.next_seq += 1;
-        let pos = st.messages.len().saturating_sub(slots);
-        st.messages.insert(pos, (seq, msg));
+        // The entry currently `slots` from the back is the one the
+        // displaced message should overtake; claim an arrival key just
+        // ahead of it (the stride leaves gaps for exactly this).
+        let succ = if slots == 0 {
+            None
+        } else {
+            st.messages
+                .iter()
+                .rev()
+                .nth(slots - 1)
+                .or_else(|| st.messages.iter().next())
+                .map(|(&k, _)| k)
+        };
+        let seq = match succ {
+            Some((_, succ_seq)) => {
+                let mut candidate = succ_seq - 1;
+                while st.messages.contains_key(&(rank, candidate)) {
+                    candidate -= 1;
+                }
+                candidate
+            }
+            None => {
+                let seq = st.next_seq;
+                st.next_seq += ARRIVAL_STRIDE;
+                seq
+            }
+        };
+        st.note_queued(&msg);
+        st.messages.insert((rank, seq), msg);
         drop(st);
-        self.cond.notify_one();
+        self.cond.notify_all();
+    }
+
+    /// Register a consumer running on `node` (affinity target). Call
+    /// [`deregister_consumer`](Self::deregister_consumer) when it stops,
+    /// or the node will keep claiming its affine messages forever.
+    pub fn register_consumer(&self, node: u32) {
+        let mut st = self.state.lock();
+        *st.consumers.entry(node).or_insert(0) += 1;
+    }
+
+    /// Deregister a consumer of `node`; once the count reaches zero the
+    /// node is dead for affinity purposes and its messages are released
+    /// to everyone.
+    pub fn deregister_consumer(&self, node: u32) {
+        let mut st = self.state.lock();
+        if let Some(c) = st.consumers.get_mut(&node) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                st.consumers.remove(&node);
+            }
+        }
+        drop(st);
+        // Messages that were reserved for this node are now up for grabs.
+        self.cond.notify_all();
+    }
+
+    /// Select and remove the first deliverable message for `consumer`
+    /// under the affinity rules. Runs under the queue lock; the scan
+    /// skips at most `slack` waiting messages per live affine node, so
+    /// it stays shallow even on deep queues.
+    fn take(&self, st: &mut QueueState, consumer: Option<u32>) -> Option<Message> {
+        let mut chosen: Option<(SelKey, bool)> = None;
+        for (&key, m) in st.messages.iter() {
+            let Some(affine) = m.affinity else {
+                chosen = Some((key, false));
+                break;
+            };
+            if consumer == Some(affine) {
+                chosen = Some((key, true));
+                break;
+            }
+            let node_live = st.consumers.contains_key(&affine);
+            let backlog = st.affine_depth.get(&affine).copied().unwrap_or(0);
+            if !node_live || self.affinity_slack == 0 || backlog > self.affinity_slack {
+                // Dead node, affinity disabled, or the affine node has
+                // fallen behind its slack: steal to keep load balanced.
+                chosen = Some((key, false));
+                break;
+            }
+            // Leave it for the affine node's consumers.
+        }
+        let (key, hit) = chosen?;
+        let m = st.messages.remove(&key).expect("chosen key present");
+        st.note_dequeued(&m);
+        if m.affinity.is_some() {
+            if hit {
+                self.affinity_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.affinity_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Some(m)
     }
 
     /// Blocking receive with timeout; `None` on timeout, close, or
@@ -106,12 +294,22 @@ impl ServiceQueue {
     /// finished with it (processed, crashed, or re-queued), or
     /// [`wait_idle`](Self::wait_idle) will never report idle.
     pub fn pop(&self, timeout: Duration) -> Option<Message> {
+        self.pop_as(None, timeout)
+    }
+
+    /// [`pop`](Self::pop) for a consumer running on `node`: messages
+    /// affine to `node` are preferred, messages affine to *other live*
+    /// nodes are skipped while those nodes keep up.
+    pub fn pop_for(&self, node: u32, timeout: Duration) -> Option<Message> {
+        self.pop_as(Some(node), timeout)
+    }
+
+    fn pop_as(&self, consumer: Option<u32>, timeout: Duration) -> Option<Message> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
         let epoch = st.interrupt_epoch;
         loop {
-            if let Some(idx) = self.select(&st.messages) {
-                let (_, msg) = st.messages.remove(idx).expect("index valid");
+            if let Some(msg) = self.take(&mut st, consumer) {
                 st.leased += 1;
                 return Some(msg);
             }
@@ -162,44 +360,7 @@ impl ServiceQueue {
     /// single-threaded draining, not competing consumers).
     pub fn try_pop(&self) -> Option<Message> {
         let mut st = self.state.lock();
-        let idx = self.select(&st.messages)?;
-        st.messages.remove(idx).map(|(_, m)| m)
-    }
-
-    fn select(&self, messages: &VecDeque<(u64, Message)>) -> Option<usize> {
-        if messages.is_empty() {
-            return None;
-        }
-        match self.policy {
-            Policy::Fcfs => Some(0),
-            Policy::Priority => {
-                let mut best = 0;
-                for (i, (seq, m)) in messages.iter().enumerate() {
-                    let (bseq, bm) = &messages[best];
-                    if m.priority > bm.priority || (m.priority == bm.priority && seq < bseq) {
-                        best = i;
-                    }
-                }
-                Some(best)
-            }
-            Policy::Edf => {
-                let key = |m: &Message| m.deadline;
-                let mut best = 0;
-                for (i, (seq, m)) in messages.iter().enumerate() {
-                    let (bseq, bm) = &messages[best];
-                    let earlier = match (key(m), key(bm)) {
-                        (Some(a), Some(b)) => a < b,
-                        (Some(_), None) => true,
-                        (None, Some(_)) => false,
-                        (None, None) => seq < bseq,
-                    };
-                    if earlier {
-                        best = i;
-                    }
-                }
-                Some(best)
-            }
-        }
+        self.take(&mut st, None)
     }
 
     /// Number of waiting messages.
@@ -210,6 +371,15 @@ impl ServiceQueue {
     /// Number of popped-but-unsettled messages (outstanding leases).
     pub fn leased_count(&self) -> usize {
         self.state.lock().leased
+    }
+
+    /// Deliveries of affinity-stamped messages to their affine node vs
+    /// elsewhere, as `(hits, misses)`.
+    pub fn affinity_counts(&self) -> (u64, u64) {
+        (
+            self.affinity_hits.load(Ordering::Relaxed),
+            self.affinity_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Close: wake all receivers; subsequent pops drain then return
@@ -264,6 +434,30 @@ mod tests {
             .map(|_| q.pop(Duration::from_millis(10)).unwrap().operation)
             .collect();
         assert_eq!(order, vec!["soon", "late", "nodeadline"]);
+    }
+
+    #[test]
+    fn deep_priority_queue_keeps_fcfs_within_priority() {
+        // Exercises the ordered index well past any small-queue special
+        // case: interleaved priorities, strict FCFS inside each.
+        let q = ServiceQueue::new(Policy::Priority);
+        for i in 0..500 {
+            q.push(msg(&format!("m{}-p{}", i, i % 5), (i % 5) as i32));
+        }
+        let mut last_prio = i32::MAX;
+        let mut last_index_in_prio = -1i64;
+        for _ in 0..500 {
+            let m = q.pop(Duration::from_millis(10)).unwrap();
+            assert!(m.priority <= last_prio, "priority must not increase");
+            let idx: i64 = m.operation[1..m.operation.find('-').unwrap()]
+                .parse()
+                .unwrap();
+            if m.priority == last_prio {
+                assert!(idx > last_index_in_prio, "FCFS within priority violated");
+            }
+            last_prio = m.priority;
+            last_index_in_prio = idx;
+        }
     }
 
     #[test]
@@ -346,5 +540,98 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(h.join().unwrap().is_none());
+    }
+
+    // ---- affinity -------------------------------------------------------
+
+    #[test]
+    fn affine_consumer_gets_its_message_first() {
+        let q = ServiceQueue::new(Policy::Fcfs);
+        q.register_consumer(1);
+        q.register_consumer(2);
+        q.push(msg("for-2", 0).with_affinity(2));
+        q.push(msg("anyone", 0));
+        // Node 1 skips node 2's message (node 2 is live and within slack)
+        // and takes the unstamped one behind it.
+        assert_eq!(
+            q.pop_for(1, Duration::from_millis(10)).unwrap().operation,
+            "anyone"
+        );
+        assert_eq!(
+            q.pop_for(2, Duration::from_millis(10)).unwrap().operation,
+            "for-2"
+        );
+        assert_eq!(q.affinity_counts(), (1, 0));
+    }
+
+    #[test]
+    fn dead_node_messages_are_released() {
+        let q = ServiceQueue::new(Policy::Fcfs);
+        q.register_consumer(1);
+        q.register_consumer(2);
+        q.push(msg("for-2", 0).with_affinity(2));
+        q.deregister_consumer(2);
+        // Node 2 died: node 1 must take the message (graceful fallback).
+        assert_eq!(
+            q.pop_for(1, Duration::from_millis(10)).unwrap().operation,
+            "for-2"
+        );
+        assert_eq!(q.affinity_counts(), (0, 1));
+    }
+
+    #[test]
+    fn backlogged_affine_node_gets_stolen_from() {
+        let slack = 2;
+        let q = ServiceQueue::with_affinity_slack(Policy::Fcfs, slack);
+        q.register_consumer(1);
+        q.register_consumer(2);
+        for i in 0..4 {
+            q.push(msg(&format!("m{i}"), 0).with_affinity(2));
+        }
+        // Backlog (4) exceeds slack (2): node 1 steals the head instead
+        // of idling while node 2 churns through all four.
+        assert_eq!(
+            q.pop_for(1, Duration::from_millis(10)).unwrap().operation,
+            "m0"
+        );
+        // Backlog is now 3, still over slack: another steal is allowed.
+        assert_eq!(
+            q.pop_for(1, Duration::from_millis(10)).unwrap().operation,
+            "m1"
+        );
+        // Backlog 2 = slack: node 1 now leaves the rest for node 2.
+        assert!(q.pop_for(1, Duration::from_millis(10)).is_none());
+        assert_eq!(
+            q.pop_for(2, Duration::from_millis(10)).unwrap().operation,
+            "m2"
+        );
+        let (hits, misses) = q.affinity_counts();
+        assert_eq!((hits, misses), (1, 2));
+    }
+
+    #[test]
+    fn skipped_affine_message_does_not_block_waiting_affine_consumer() {
+        let q = std::sync::Arc::new(ServiceQueue::new(Policy::Fcfs));
+        q.register_consumer(1);
+        q.register_consumer(2);
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop_for(2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        // The push must wake node 2's consumer even if node 1's is also
+        // blocked (notify_all semantics).
+        let q1 = q.clone();
+        let h1 = std::thread::spawn(move || q1.pop_for(1, Duration::from_millis(200)));
+        q.push(msg("for-2", 0).with_affinity(2));
+        assert_eq!(h.join().unwrap().unwrap().operation, "for-2");
+        assert!(h1.join().unwrap().is_none(), "node 1 must not take it");
+    }
+
+    #[test]
+    fn plain_pop_ignores_affinity_when_no_nodes_registered() {
+        // Embedders that never register consumers see exactly the old
+        // behavior, affinity stamps or not.
+        let q = ServiceQueue::new(Policy::Fcfs);
+        q.push(msg("a", 0).with_affinity(7));
+        assert_eq!(q.pop(Duration::from_millis(10)).unwrap().operation, "a");
     }
 }

@@ -41,8 +41,17 @@ pub use writer::ValueWriter;
 
 /// Format magic.
 pub(crate) const MAGIC: [u8; 2] = [b'G', b'Z'];
-/// Format version.
-pub(crate) const VERSION: u8 = 1;
+/// Format version written by this crate. v2 adds the symbol/keyword
+/// dictionary ([`Tag::SymRef`]/[`Tag::KwRef`]), string content
+/// deduplication, and delta snapshot records; v1 payloads (which never
+/// contain the new tags) are still read.
+pub(crate) const VERSION: u8 = 2;
+/// Oldest envelope version the reader accepts.
+pub(crate) const MIN_VERSION: u8 = 1;
+/// First payload byte of a delta snapshot record — distinguishes a delta
+/// from a full state, whose first byte is a varint (bit 7 clear for any
+/// plausible restart counter) so the two cannot be confused.
+pub(crate) const DELTA_MARKER: u8 = 0xD5;
 
 /// Serialization/deserialization failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +92,12 @@ pub(crate) enum Tag {
     Object = 14,
     Continuation = 15,
     BackRef = 16,
+    /// Back-reference into the symbol/keyword dictionary, read back as a
+    /// `Symbol` (format v2).
+    SymRef = 17,
+    /// Back-reference into the symbol/keyword dictionary, read back as a
+    /// `Keyword` (format v2).
+    KwRef = 18,
     /// Small non-negative integer packed into the tag byte:
     /// `SMALL_INT_BASE + n` for `n` in `0..SMALL_INT_RANGE` — the "most
     /// commonly serialized objects, stored more efficiently".
@@ -112,6 +127,8 @@ impl Tag {
             14 => Tag::Object,
             15 => Tag::Continuation,
             16 => Tag::BackRef,
+            17 => Tag::SymRef,
+            18 => Tag::KwRef,
             _ => return None,
         })
     }
@@ -119,32 +136,149 @@ impl Tag {
 
 /// Serialize a single value.
 pub fn serialize_value(v: &Value, codec: Codec) -> Result<Vec<u8>, SerError> {
-    let mut w = ValueWriter::new();
+    let mut w = ValueWriter::with_envelope(64);
     w.write_value(v)?;
-    Ok(envelope(codec, w.finish()))
+    Ok(w.finish_enveloped(codec))
 }
 
 /// Deserialize a single value (natives and closures re-link through
 /// `gvm`).
 pub fn deserialize_value(bytes: &[u8], gvm: &Arc<Gvm>) -> Result<Value, SerError> {
-    let payload = unenvelope(bytes)?;
+    let payload = strip_envelope(bytes)?;
     let mut r = ValueReader::new(&payload, gvm);
     r.read_value()
 }
 
 /// Serialize a complete fiber continuation.
 pub fn serialize_state(state: &FiberState, codec: Codec) -> Result<Vec<u8>, SerError> {
-    let mut w = ValueWriter::new();
+    serialize_state_sized(state, codec, 256)
+}
+
+/// [`serialize_state`] with an output-buffer capacity hint — typically
+/// the size of the fiber's previous snapshot, so steady-state saves
+/// never reallocate mid-write.
+pub fn serialize_state_sized(
+    state: &FiberState,
+    codec: Codec,
+    size_hint: usize,
+) -> Result<Vec<u8>, SerError> {
+    let mut w = ValueWriter::with_envelope(size_hint);
     w.write_state(state)?;
-    Ok(envelope(codec, w.finish()))
+    Ok(w.finish_enveloped(codec))
 }
 
 /// Deserialize a fiber continuation, re-linking code against `gvm`'s
 /// program registry.
 pub fn deserialize_state(bytes: &[u8], gvm: &Arc<Gvm>) -> Result<FiberState, SerError> {
-    let payload = unenvelope(bytes)?;
+    let payload = strip_envelope(bytes)?;
     let mut r = ValueReader::new(&payload, gvm);
     r.read_state()
+}
+
+/// Serialize a **delta snapshot**: the fiber's state relative to its
+/// previous snapshot, re-encoding only the frames above the clean prefix
+/// (`state.frames[clean_frames..]`) plus the always-small dynamic state.
+///
+/// The writer first *seeds* its sharing and dictionary tables by walking
+/// the clean frames into a scratch buffer (discarded, CRC recorded), so
+/// dirty frames can back-reference values owned by clean frames. The
+/// reader runs the identical walk over its copy of the base state —
+/// [`deserialize_state_delta`] — which assigns the same indices, and the
+/// CRC proves the two bases match.
+///
+/// Returns `Ok(None)` when a delta is pointless or unsound: no clean
+/// frames, or a mutable object reachable from the clean prefix (object
+/// fields change without frame mutation). The caller then writes a full
+/// snapshot.
+pub fn serialize_state_delta(
+    state: &FiberState,
+    clean_frames: usize,
+    codec: Codec,
+    size_hint: usize,
+) -> Result<Option<Vec<u8>>, SerError> {
+    let prefix = clean_frames.min(state.frames.len());
+    if prefix == 0 {
+        return Ok(None);
+    }
+    let mut w = ValueWriter::with_envelope(size_hint);
+    w.out.push(DELTA_MARKER);
+    write_uvarint(&mut w.out, prefix as u64);
+    write_uvarint(&mut w.out, state.frames.len() as u64);
+    let crc = match w.seed_from_frames(&state.frames[..prefix]) {
+        Ok(crc) => crc,
+        // Unserializable or mutable data in the prefix: fall back to a
+        // full snapshot (which will surface any genuine error itself).
+        Err(_) => return Ok(None),
+    };
+    w.out.extend_from_slice(&crc.to_le_bytes());
+    w.write_state_meta(state)?;
+    w.write_frames(&state.frames[prefix..])?;
+    Ok(Some(w.finish_enveloped(codec)))
+}
+
+/// Reconstitute a fiber state from a delta snapshot and the base state
+/// it was encoded against (the previous snapshot in the chain, itself
+/// either a full snapshot or the result of applying earlier deltas).
+///
+/// The result is bit-identical under re-serialization to the state the
+/// writer held: the seeding walk assigns both sides the same table
+/// indices, and string content deduplication makes the byte stream
+/// independent of Arc-identity differences between the two sides.
+pub fn deserialize_state_delta(
+    bytes: &[u8],
+    gvm: &Arc<Gvm>,
+    base: &FiberState,
+) -> Result<FiberState, SerError> {
+    let payload = strip_envelope(bytes)?;
+    let data: &[u8] = &payload;
+    if data.first() != Some(&DELTA_MARKER) {
+        return Err(SerError::new("not a delta snapshot record"));
+    }
+    let mut pos = 1;
+    let prefix = read_uvarint(data, &mut pos)? as usize;
+    let total = read_uvarint(data, &mut pos)? as usize;
+    if prefix > base.frames.len() || total < prefix {
+        return Err(SerError::new(format!(
+            "delta base mismatch: clean prefix {prefix} of {total} frames \
+             against a base with {} frames",
+            base.frames.len()
+        )));
+    }
+    let crc_end = pos
+        .checked_add(4)
+        .filter(|&e| e <= data.len())
+        .ok_or_else(|| SerError::new("truncated delta header"))?;
+    let stored_crc = u32::from_le_bytes(data[pos..crc_end].try_into().expect("4 bytes"));
+    pos = crc_end;
+    let mut seeder = ValueWriter::new();
+    let crc = seeder.seed_from_frames(&base.frames[..prefix])?;
+    if crc != stored_crc {
+        return Err(SerError::new(format!(
+            "delta base mismatch: seeded prefix checksum {crc:#010x}, \
+             record expects {stored_crc:#010x}"
+        )));
+    }
+    let (slots, syms) = seeder.take_seeds();
+    let mut r = ValueReader::new(data, gvm);
+    r.pos = pos;
+    r.shared = slots.into_iter().map(Some).collect();
+    r.sym_dict = syms;
+    let (next_restart_id, ext, dyn_state) = r.read_state_meta()?;
+    let mut frames = Vec::with_capacity(total);
+    frames.extend_from_slice(&base.frames[..prefix]);
+    for _ in prefix..total {
+        frames.push(r.read_frame()?);
+    }
+    // The reconstituted state is exactly the persisted snapshot at this
+    // chain position, so the whole stack is clean.
+    let clean_prefix = frames.len();
+    Ok(FiberState {
+        frames,
+        dyn_state,
+        next_restart_id,
+        ext,
+        clean_prefix,
+    })
 }
 
 /// Cost of one continuation (de)serialization, as measured by the
@@ -188,26 +322,27 @@ pub fn deserialize_state_costed(
     Ok((state, sample))
 }
 
-fn envelope(codec: Codec, payload: Vec<u8>) -> Vec<u8> {
-    let body = codec.compress(&payload);
-    let mut out = Vec::with_capacity(body.len() + 4);
-    out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
-    out.push(codec.tag());
-    out.extend_from_slice(&body);
-    out
-}
-
-fn unenvelope(bytes: &[u8]) -> Result<Vec<u8>, SerError> {
+/// Validate the transport envelope and expose the payload. With
+/// [`Codec::None`] this borrows straight out of `bytes` — the zero-copy
+/// counterpart of the writer's in-place
+/// [`finish_enveloped`](ValueWriter::finish_enveloped); other codecs
+/// decompress into a fresh buffer.
+fn strip_envelope(bytes: &[u8]) -> Result<std::borrow::Cow<'_, [u8]>, SerError> {
     if bytes.len() < 4 || bytes[0..2] != MAGIC {
         return Err(SerError::new("bad magic"));
     }
-    if bytes[2] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&bytes[2]) {
         return Err(SerError::new(format!("unsupported version {}", bytes[2])));
     }
     let codec = Codec::from_tag(bytes[3])
         .ok_or_else(|| SerError::new(format!("unknown codec tag {}", bytes[3])))?;
-    codec.decompress(&bytes[4..]).map_err(SerError::new)
+    match codec {
+        Codec::None => Ok(std::borrow::Cow::Borrowed(&bytes[4..])),
+        _ => codec
+            .decompress(&bytes[4..])
+            .map(std::borrow::Cow::Owned)
+            .map_err(SerError::new),
+    }
 }
 
 // ---- varints -------------------------------------------------------------
@@ -275,9 +410,23 @@ mod tests {
 
     #[test]
     fn envelope_rejects_garbage() {
-        assert!(unenvelope(&[]).is_err());
-        assert!(unenvelope(&[1, 2, 3, 4]).is_err());
-        assert!(unenvelope(&[b'G', b'Z', 9, 0]).is_err());
-        assert!(unenvelope(&[b'G', b'Z', VERSION, 77]).is_err());
+        assert!(strip_envelope(&[]).is_err());
+        assert!(strip_envelope(&[1, 2, 3, 4]).is_err());
+        assert!(strip_envelope(&[b'G', b'Z', 9, 0]).is_err());
+        assert!(strip_envelope(&[b'G', b'Z', 0, 0]).is_err());
+        assert!(strip_envelope(&[b'G', b'Z', VERSION, 77]).is_err());
+    }
+
+    #[test]
+    fn envelope_accepts_version_range_and_borrows_uncompressed() {
+        // v1 envelopes (pre-dictionary) still open.
+        let v1 = [b'G', b'Z', 1, 0, 42, 43];
+        assert_eq!(&*strip_envelope(&v1).unwrap(), &[42, 43]);
+        // Codec::None borrows the payload without copying.
+        let v2 = [b'G', b'Z', VERSION, 0, 9, 9, 9];
+        match strip_envelope(&v2).unwrap() {
+            std::borrow::Cow::Borrowed(p) => assert_eq!(p, &[9, 9, 9]),
+            std::borrow::Cow::Owned(_) => panic!("Codec::None must not copy"),
+        }
     }
 }

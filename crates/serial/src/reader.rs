@@ -16,14 +16,16 @@ pub const MAX_DEPTH: u32 = 200;
 /// Streaming reader; re-links code and natives against a [`Gvm`].
 pub struct ValueReader<'a> {
     data: &'a [u8],
-    pos: usize,
+    pub(crate) pos: usize,
     depth: u32,
     gvm: &'a Arc<Gvm>,
     /// Back-reference table, indexed in first-encounter order. `None`
     /// marks an aggregate still under construction (only mutable objects
     /// may be referenced before completion, and those register complete
     /// shells upfront).
-    shared: Vec<Option<Value>>,
+    pub(crate) shared: Vec<Option<Value>>,
+    /// Symbol/keyword dictionary (format v2), in first-occurrence order.
+    pub(crate) sym_dict: Vec<Symbol>,
 }
 
 impl<'a> ValueReader<'a> {
@@ -35,6 +37,7 @@ impl<'a> ValueReader<'a> {
             depth: 0,
             gvm,
             shared: Vec::new(),
+            sym_dict: Vec::new(),
         }
     }
 
@@ -66,6 +69,14 @@ impl<'a> ValueReader<'a> {
         let n = self.uv()? as usize;
         let bytes = self.raw(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| SerError::new("invalid utf-8"))
+    }
+
+    fn dict_sym(&mut self) -> Result<Symbol, SerError> {
+        let idx = self.uv()? as usize;
+        self.sym_dict
+            .get(idx)
+            .copied()
+            .ok_or_else(|| SerError::new(format!("bad symbol dictionary reference {idx}")))
     }
 
     fn reserve_slot(&mut self) -> usize {
@@ -120,8 +131,18 @@ impl<'a> ValueReader<'a> {
                 let s = Value::from(self.string()?);
                 Ok(self.fill_slot(idx, s))
             }
-            Tag::Symbol => Ok(Value::Symbol(Symbol::intern(&self.string()?))),
-            Tag::Keyword => Ok(Value::Keyword(Symbol::intern(&self.string()?))),
+            Tag::Symbol => {
+                let s = Symbol::intern(&self.string()?);
+                self.sym_dict.push(s);
+                Ok(Value::Symbol(s))
+            }
+            Tag::Keyword => {
+                let s = Symbol::intern(&self.string()?);
+                self.sym_dict.push(s);
+                Ok(Value::Keyword(s))
+            }
+            Tag::SymRef => Ok(Value::Symbol(self.dict_sym()?)),
+            Tag::KwRef => Ok(Value::Keyword(self.dict_sym()?)),
             Tag::List | Tag::Vector => {
                 let idx = self.reserve_slot();
                 let n = self.uv()? as usize;
@@ -223,8 +244,9 @@ impl<'a> ValueReader<'a> {
         }
     }
 
-    /// Read a complete fiber state.
-    pub fn read_state(&mut self) -> Result<FiberState, SerError> {
+    /// The non-frame portion of a fiber state (mirrors
+    /// `ValueWriter::write_state_meta`).
+    pub(crate) fn read_state_meta(&mut self) -> Result<(u64, FiberExt, DynState), SerError> {
         let next_restart_id = self.uv()?;
         let mut ext = FiberExt::default();
         let n_ext = self.uv()? as usize;
@@ -255,57 +277,71 @@ impl<'a> ValueReader<'a> {
                 foreign: false,
             });
         }
+        Ok((next_restart_id, ext, dyn_state))
+    }
+
+    /// Read one frame in the standard layout.
+    pub(crate) fn read_frame(&mut self) -> Result<Frame, SerError> {
+        let pid = u64::from_le_bytes(self.raw(8)?.try_into().expect("8 bytes"));
+        let chunk = self.uv()? as u32;
+        let pc = self.uv()? as u32;
+        let n_locals = self.uv()? as usize;
+        let mut locals = Vec::with_capacity(n_locals.min(1 << 16));
+        for _ in 0..n_locals {
+            locals.push(self.read_value()?);
+        }
+        let n_stack = self.uv()? as usize;
+        let mut stack = Vec::with_capacity(n_stack.min(1 << 16));
+        for _ in 0..n_stack {
+            stack.push(self.read_value()?);
+        }
+        let captures = match self.read_value()? {
+            Value::Vector(items) => items,
+            Value::Nil => Arc::new(Vec::new()),
+            other => {
+                return Err(SerError::new(format!(
+                    "expected capture vector, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let program = self.gvm.get_program(pid).ok_or_else(|| {
+            SerError::new(format!(
+                "program {pid:#018x} is not loaded on this node; load the \
+                 workflow source before resuming its fibers"
+            ))
+        })?;
+        if chunk as usize >= program.chunks.len() || pc as usize > program.chunk(chunk).code.len()
+        {
+            return Err(SerError::new("frame position out of range"));
+        }
+        Ok(Frame {
+            program,
+            chunk,
+            pc,
+            locals,
+            stack,
+            captures,
+        })
+    }
+
+    /// Read a complete fiber state.
+    pub fn read_state(&mut self) -> Result<FiberState, SerError> {
+        let (next_restart_id, ext, dyn_state) = self.read_state_meta()?;
         let n_frames = self.uv()? as usize;
         let mut frames = Vec::with_capacity(n_frames.min(1 << 12));
         for _ in 0..n_frames {
-            let pid = u64::from_le_bytes(self.raw(8)?.try_into().expect("8 bytes"));
-            let chunk = self.uv()? as u32;
-            let pc = self.uv()? as u32;
-            let n_locals = self.uv()? as usize;
-            let mut locals = Vec::with_capacity(n_locals.min(1 << 16));
-            for _ in 0..n_locals {
-                locals.push(self.read_value()?);
-            }
-            let n_stack = self.uv()? as usize;
-            let mut stack = Vec::with_capacity(n_stack.min(1 << 16));
-            for _ in 0..n_stack {
-                stack.push(self.read_value()?);
-            }
-            let captures = match self.read_value()? {
-                Value::Vector(items) => items,
-                Value::Nil => Arc::new(Vec::new()),
-                other => {
-                    return Err(SerError::new(format!(
-                        "expected capture vector, got {}",
-                        other.type_name()
-                    )))
-                }
-            };
-            let program = self.gvm.get_program(pid).ok_or_else(|| {
-                SerError::new(format!(
-                    "program {pid:#018x} is not loaded on this node; load the \
-                     workflow source before resuming its fibers"
-                ))
-            })?;
-            if chunk as usize >= program.chunks.len()
-                || pc as usize > program.chunk(chunk).code.len()
-            {
-                return Err(SerError::new("frame position out of range"));
-            }
-            frames.push(Frame {
-                program,
-                chunk,
-                pc,
-                locals,
-                stack,
-                captures,
-            });
+            frames.push(self.read_frame()?);
         }
+        // A freshly deserialized state *is* its snapshot, so every frame
+        // is clean until the interpreter touches it.
+        let clean_prefix = frames.len();
         Ok(FiberState {
             frames,
             dyn_state,
             next_restart_id,
             ext,
+            clean_prefix,
         })
     }
 }

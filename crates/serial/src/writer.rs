@@ -3,18 +3,45 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gozer_lang::Value;
+use gozer_compress::Codec;
+use gozer_lang::{Symbol, Value};
+use gozer_vm::fiber::Frame;
 use gozer_vm::runtime::{Closure, ContinuationVal, FutureVal, NativeFn};
 use gozer_vm::{FiberState, ObjectVal};
 
-use crate::{write_uvarint, zigzag, SerError, Tag, SMALL_INT_BASE, SMALL_INT_RANGE};
+use crate::{
+    write_uvarint, zigzag, SerError, Tag, MAGIC, SMALL_INT_BASE, SMALL_INT_RANGE, VERSION,
+};
 
-/// Streaming writer with a sharing table keyed by object identity.
+/// Streaming writer with a sharing table keyed by object identity, a
+/// content table for strings, and a symbol/keyword dictionary (format
+/// v2: repeated `Symbol`/`Keyword` payloads — function names, map keys —
+/// encode as one-varint back-references after their first occurrence).
 pub struct ValueWriter {
-    out: Vec<u8>,
+    pub(crate) out: Vec<u8>,
+    /// True when `out` starts with 4 reserved envelope-header bytes
+    /// (filled by [`finish_enveloped`](ValueWriter::finish_enveloped)).
+    header: bool,
     /// Arc pointer address → back-reference index.
     seen: HashMap<usize, u64>,
+    /// String content → back-reference index. Distinct `Arc`s with equal
+    /// content collapse to one record, which keeps the byte stream a
+    /// function of the *state*, not of allocation history — the property
+    /// that makes delta-reconstituted states re-serialize bit-identically.
+    str_content: HashMap<Arc<str>, u64>,
+    /// Symbol/keyword dictionary, indexed in first-occurrence order.
+    sym_dict: HashMap<Symbol, u64>,
     next_ref: u64,
+    /// Dictionary coding on (off only for format A/B tests).
+    dict: bool,
+    /// Seeding mode: serializing a delta's clean-frame prefix into a
+    /// scratch buffer purely to populate the tables above. Mutable
+    /// objects are rejected (their fields can change without any frame
+    /// mutation, so a "clean" frame holding one is not actually clean),
+    /// and every table registration is logged so a reader can mirror it.
+    seeding: bool,
+    seed_slots: Vec<Value>,
+    seed_syms: Vec<Symbol>,
 }
 
 impl Default for ValueWriter {
@@ -26,23 +53,108 @@ impl Default for ValueWriter {
 impl ValueWriter {
     /// Fresh writer.
     pub fn new() -> ValueWriter {
+        ValueWriter::sized(256, false)
+    }
+
+    /// Fresh writer with a buffer capacity hint (typically the size of
+    /// the previous snapshot of the same fiber) and 4 reserved bytes for
+    /// the envelope header, enabling a zero-copy
+    /// [`finish_enveloped`](ValueWriter::finish_enveloped).
+    pub(crate) fn with_envelope(size_hint: usize) -> ValueWriter {
+        ValueWriter::sized(size_hint, true)
+    }
+
+    /// A writer with the symbol/keyword dictionary disabled — every
+    /// occurrence re-encodes its name, as format v1 did. Only useful for
+    /// comparing the two encodings in tests.
+    #[doc(hidden)]
+    pub fn without_dictionary() -> ValueWriter {
+        let mut w = ValueWriter::new();
+        w.dict = false;
+        w
+    }
+
+    fn sized(size_hint: usize, header: bool) -> ValueWriter {
+        let mut out = Vec::with_capacity(size_hint.max(64) + if header { 4 } else { 0 });
+        if header {
+            out.extend_from_slice(&[0u8; 4]);
+        }
         ValueWriter {
-            out: Vec::with_capacity(256),
+            out,
+            header,
             seen: HashMap::new(),
+            str_content: HashMap::new(),
+            sym_dict: HashMap::new(),
             next_ref: 0,
+            dict: true,
+            seeding: false,
+            seed_slots: Vec::new(),
+            seed_syms: Vec::new(),
         }
     }
 
     /// Consume and return the bytes.
     pub fn finish(self) -> Vec<u8> {
+        debug_assert!(!self.header, "enveloped writers finish via finish_enveloped");
         self.out
+    }
+
+    /// Wrap the payload in the transport envelope. With [`Codec::None`]
+    /// the reserved header bytes are filled in place and the buffer is
+    /// returned as-is — no copy, no second allocation.
+    pub(crate) fn finish_enveloped(mut self, codec: Codec) -> Vec<u8> {
+        debug_assert!(self.header, "writer was not constructed with_envelope");
+        match codec {
+            Codec::None => {
+                self.out[0] = MAGIC[0];
+                self.out[1] = MAGIC[1];
+                self.out[2] = VERSION;
+                self.out[3] = codec.tag();
+                self.out
+            }
+            _ => {
+                let body = codec.compress(&self.out[4..]);
+                let mut out = Vec::with_capacity(body.len() + 4);
+                out.extend_from_slice(&MAGIC);
+                out.push(VERSION);
+                out.push(codec.tag());
+                out.extend_from_slice(&body);
+                out
+            }
+        }
+    }
+
+    /// Serialize `frames` into a scratch buffer, keeping only the table
+    /// registrations (sharing slots, string contents, symbol dictionary).
+    /// This is the delta seeding walk: writer and reader both run it over
+    /// their copy of the clean prefix, and because it *is* the serializer
+    /// the two sides assign identical indices to corresponding objects.
+    /// Returns the CRC-32 of the scratch bytes so the reader can prove
+    /// its base state matches the writer's.
+    pub(crate) fn seed_from_frames(&mut self, frames: &[Frame]) -> Result<u32, SerError> {
+        self.seeding = true;
+        let main = std::mem::take(&mut self.out);
+        let result = self.write_frames(frames);
+        let scratch = std::mem::replace(&mut self.out, main);
+        self.seeding = false;
+        result?;
+        Ok(gozer_compress::crc32(&scratch))
+    }
+
+    /// The table registrations logged by seeding, in assignment order —
+    /// the reader's initial `shared` and symbol-dictionary contents.
+    pub(crate) fn take_seeds(&mut self) -> (Vec<Value>, Vec<Symbol>) {
+        (
+            std::mem::take(&mut self.seed_slots),
+            std::mem::take(&mut self.seed_syms),
+        )
     }
 
     fn tag(&mut self, t: Tag) {
         self.out.push(t as u8);
     }
 
-    fn uv(&mut self, v: u64) {
+    pub(crate) fn uv(&mut self, v: u64) {
         write_uvarint(&mut self.out, v);
     }
 
@@ -54,15 +166,35 @@ impl ValueWriter {
     /// If `ptr` was already written, emit a back-reference and return
     /// true. Otherwise register it (claiming the next index — indices are
     /// assigned in first-encounter order on both sides).
-    fn share(&mut self, ptr: usize) -> bool {
+    fn share(&mut self, ptr: usize, v: &Value) -> bool {
         if let Some(&idx) = self.seen.get(&ptr) {
             self.tag(Tag::BackRef);
             self.uv(idx);
             return true;
         }
         self.seen.insert(ptr, self.next_ref);
+        if self.seeding {
+            self.seed_slots.push(v.clone());
+        }
         self.next_ref += 1;
         false
+    }
+
+    fn write_sym(&mut self, s: Symbol, full: Tag, reference: Tag) {
+        if self.dict {
+            if let Some(&idx) = self.sym_dict.get(&s) {
+                self.tag(reference);
+                self.uv(idx);
+                return;
+            }
+            let idx = self.sym_dict.len() as u64;
+            self.sym_dict.insert(s, idx);
+            if self.seeding {
+                self.seed_syms.push(s);
+            }
+        }
+        self.tag(full);
+        self.bytes(s.name().as_bytes());
     }
 
     /// Write one value.
@@ -88,22 +220,33 @@ impl ValueWriter {
                 self.uv(*c as u64);
             }
             Value::Str(s) => {
-                if self.share(Arc::as_ptr(s) as *const u8 as usize) {
+                let ptr = Arc::as_ptr(s) as *const u8 as usize;
+                if let Some(&idx) = self.seen.get(&ptr) {
+                    self.tag(Tag::BackRef);
+                    self.uv(idx);
                     return Ok(());
                 }
+                if let Some(&idx) = self.str_content.get(s) {
+                    // Equal content under a different Arc: reuse the first
+                    // copy's slot (strings are immutable, aliasing is safe).
+                    self.seen.insert(ptr, idx);
+                    self.tag(Tag::BackRef);
+                    self.uv(idx);
+                    return Ok(());
+                }
+                self.seen.insert(ptr, self.next_ref);
+                self.str_content.insert(s.clone(), self.next_ref);
+                if self.seeding {
+                    self.seed_slots.push(v.clone());
+                }
+                self.next_ref += 1;
                 self.tag(Tag::Str);
                 self.bytes(s.as_bytes());
             }
-            Value::Symbol(s) => {
-                self.tag(Tag::Symbol);
-                self.bytes(s.name().as_bytes());
-            }
-            Value::Keyword(s) => {
-                self.tag(Tag::Keyword);
-                self.bytes(s.name().as_bytes());
-            }
+            Value::Symbol(s) => self.write_sym(*s, Tag::Symbol, Tag::SymRef),
+            Value::Keyword(s) => self.write_sym(*s, Tag::Keyword, Tag::KwRef),
             Value::List(items) => {
-                if self.share(Arc::as_ptr(items) as usize) {
+                if self.share(Arc::as_ptr(items) as usize, v) {
                     return Ok(());
                 }
                 self.tag(Tag::List);
@@ -113,7 +256,7 @@ impl ValueWriter {
                 }
             }
             Value::Vector(items) => {
-                if self.share(Arc::as_ptr(items) as usize) {
+                if self.share(Arc::as_ptr(items) as usize, v) {
                     return Ok(());
                 }
                 self.tag(Tag::Vector);
@@ -123,7 +266,7 @@ impl ValueWriter {
                 }
             }
             Value::Map(m) => {
-                if self.share(Arc::as_ptr(m) as usize) {
+                if self.share(Arc::as_ptr(m) as usize, v) {
                     return Ok(());
                 }
                 self.tag(Tag::Map);
@@ -135,7 +278,7 @@ impl ValueWriter {
             }
             Value::Func(f) => {
                 if let Some(c) = f.as_any().downcast_ref::<Closure>() {
-                    if self.share(Arc::as_ptr(f) as *const u8 as usize) {
+                    if self.share(Arc::as_ptr(f) as *const u8 as usize, v) {
                         return Ok(());
                     }
                     self.tag(Tag::Closure);
@@ -173,7 +316,13 @@ impl ValueWriter {
                     }
                 }
                 if let Some(obj) = o.as_any().downcast_ref::<ObjectVal>() {
-                    if self.share(Arc::as_ptr(o) as *const u8 as usize) {
+                    if self.seeding {
+                        return Err(SerError::new(
+                            "mutable object reachable from clean frames; \
+                             delta snapshot is unsound",
+                        ));
+                    }
+                    if self.share(Arc::as_ptr(o) as *const u8 as usize, v) {
                         return Ok(());
                     }
                     self.tag(Tag::Object);
@@ -198,8 +347,10 @@ impl ValueWriter {
         Ok(())
     }
 
-    /// Write a complete fiber state.
-    pub fn write_state(&mut self, state: &FiberState) -> Result<(), SerError> {
+    /// The non-frame portion of a fiber state: restart counter,
+    /// extension map, handlers, restarts. Written whole in both full and
+    /// delta snapshots (it is small and changes freely between saves).
+    pub(crate) fn write_state_meta(&mut self, state: &FiberState) -> Result<(), SerError> {
         self.uv(state.next_restart_id);
         // Extension map.
         self.uv(state.ext.0.len() as u64);
@@ -228,9 +379,12 @@ impl ValueWriter {
             self.uv(r.handlers_len as u64);
             self.uv(r.restarts_len as u64);
         }
-        // Frames.
-        self.uv(state.frames.len() as u64);
-        for f in &state.frames {
+        Ok(())
+    }
+
+    /// Write frames in the standard layout (no count prefix).
+    pub(crate) fn write_frames(&mut self, frames: &[Frame]) -> Result<(), SerError> {
+        for f in frames {
             self.out.extend_from_slice(&f.program.id.to_le_bytes());
             self.uv(f.chunk as u64);
             self.uv(f.pc as u64);
@@ -244,7 +398,8 @@ impl ValueWriter {
             }
             // Captures are shared with the closure object; the sharing
             // table keeps this from doubling the payload.
-            if self.share(Arc::as_ptr(&f.captures) as usize) {
+            let captures = Value::Vector(f.captures.clone());
+            if self.share(Arc::as_ptr(&f.captures) as usize, &captures) {
                 continue;
             }
             self.tag(Tag::Vector);
@@ -254,5 +409,12 @@ impl ValueWriter {
             }
         }
         Ok(())
+    }
+
+    /// Write a complete fiber state.
+    pub fn write_state(&mut self, state: &FiberState) -> Result<(), SerError> {
+        self.write_state_meta(state)?;
+        self.uv(state.frames.len() as u64);
+        self.write_frames(&state.frames)
     }
 }

@@ -1,0 +1,274 @@
+//! Delta snapshot tests: a fiber saved as base + delta must reconstitute
+//! bit-identically to the writer's state, fall back to full snapshots
+//! when a delta would be unsound, and reject mismatched bases. Plus the
+//! format-v2 dictionary property: dictionary-coded round trips equal
+//! plain (v1-style) round trips for arbitrary values.
+
+use std::sync::Arc;
+
+use gozer_compress::Codec;
+use gozer_lang::Value;
+use gozer_serial::{
+    deserialize_state, deserialize_state_delta, serialize_state, serialize_state_delta,
+    serialize_value, ValueReader, ValueWriter,
+};
+use gozer_vm::{Gvm, RunOutcome};
+
+/// Three frames deep at every yield: outer → wrap → leaf, with the two
+/// outer frames untouched between suspensions — the delta sweet spot.
+const DEEP_WF: &str = r#"
+(defun leaf (a)
+  (let ((x (yield :one))
+        (y (yield :two))
+        (z (yield :three)))
+    (list a x y z)))
+(defun wrap (a) (list :w (leaf (concat "leaf-" a))))
+(defun outer (a) (list :outer (wrap a)))
+"#;
+
+fn deep_gvm() -> Arc<Gvm> {
+    let gvm = Gvm::with_pool_size(1);
+    gvm.load_str(DEEP_WF, "deep-wf").unwrap();
+    gvm
+}
+
+fn suspend(gvm: &Arc<Gvm>, state: gozer_vm::FiberState, v: Value) -> gozer_vm::Suspension {
+    match gvm.resume_fiber(state, v).unwrap() {
+        RunOutcome::Suspended(s) => s,
+        RunOutcome::Done(v) => panic!("expected suspension, finished with {v:?}"),
+    }
+}
+
+#[test]
+fn delta_reconstitutes_bit_identical_and_resumes() {
+    let gvm = deep_gvm();
+    let f = gvm.function("outer").unwrap();
+    let RunOutcome::Suspended(susp1) = gvm.call_fiber(&f, vec![Value::from("job")]).unwrap()
+    else {
+        panic!("expected suspension at :one");
+    };
+    // Save 1: a fresh fiber has no clean prefix — full snapshot.
+    assert_eq!(susp1.state.clean_prefix, 0);
+    let full1 = serialize_state(&susp1.state, Codec::None).unwrap();
+
+    // Writer node: load (all frames clean), run to the next yield.
+    let state1 = deserialize_state(&full1, &gvm).unwrap();
+    assert_eq!(state1.clean_prefix, state1.frames.len());
+    let susp2 = suspend(&gvm, state1, Value::Int(10));
+    // Only the leaf frame ran: outer and wrap stayed clean.
+    assert_eq!(susp2.state.frames.len(), 3);
+    assert_eq!(susp2.state.clean_prefix, 2);
+
+    // Save 2: delta against the last snapshot.
+    let delta1 = serialize_state_delta(&susp2.state, susp2.state.clean_prefix, Codec::None, 256)
+        .unwrap()
+        .expect("clean prefix present, delta applies");
+    let full2 = serialize_state(&susp2.state, Codec::None).unwrap();
+    assert!(
+        delta1.len() < full2.len(),
+        "delta ({}) should be smaller than full ({})",
+        delta1.len(),
+        full2.len()
+    );
+
+    // Reader node: reconstitute base + delta, compare bit-for-bit.
+    let base = deserialize_state(&full1, &gvm).unwrap();
+    let rec2 = deserialize_state_delta(&delta1, &gvm, &base).unwrap();
+    assert_eq!(rec2.clean_prefix, rec2.frames.len());
+    assert_eq!(
+        serialize_state(&rec2, Codec::None).unwrap(),
+        full2,
+        "delta-reconstituted state must re-serialize bit-identically"
+    );
+
+    // Chain a second delta (writer continues from its live state after a
+    // successful save, so its clean prefix resets to the full stack).
+    let mut live = susp2.state;
+    live.clean_prefix = live.frames.len();
+    let susp3 = suspend(&gvm, live, Value::Int(20));
+    assert_eq!(susp3.state.clean_prefix, 2);
+    let delta2 = serialize_state_delta(&susp3.state, susp3.state.clean_prefix, Codec::None, 256)
+        .unwrap()
+        .expect("second delta applies");
+    let rec3 = deserialize_state_delta(&delta2, &gvm, &rec2).unwrap();
+    assert_eq!(
+        serialize_state(&rec3, Codec::None).unwrap(),
+        serialize_state(&susp3.state, Codec::None).unwrap(),
+        "chained delta must stay bit-identical"
+    );
+
+    // Both sides finish with the same value.
+    let RunOutcome::Done(via_delta) = gvm.resume_fiber(rec3, Value::Int(30)).unwrap() else {
+        panic!("expected completion");
+    };
+    let RunOutcome::Done(via_writer) = gvm.resume_fiber(susp3.state, Value::Int(30)).unwrap()
+    else {
+        panic!("expected completion");
+    };
+    assert_eq!(via_delta, via_writer);
+    assert_eq!(
+        via_delta,
+        gvm.eval_str("(list :outer (list :w (list \"leaf-job\" 10 20 30)))")
+            .unwrap()
+    );
+}
+
+#[test]
+fn delta_compresses_too() {
+    let gvm = deep_gvm();
+    let f = gvm.function("outer").unwrap();
+    let RunOutcome::Suspended(susp1) = gvm.call_fiber(&f, vec![Value::from("z")]).unwrap() else {
+        panic!();
+    };
+    let full1 = serialize_state(&susp1.state, Codec::Deflate).unwrap();
+    let state1 = deserialize_state(&full1, &gvm).unwrap();
+    let susp2 = suspend(&gvm, state1, Value::Int(1));
+    let delta = serialize_state_delta(&susp2.state, susp2.state.clean_prefix, Codec::Deflate, 256)
+        .unwrap()
+        .unwrap();
+    let base = deserialize_state(&full1, &gvm).unwrap();
+    let rec = deserialize_state_delta(&delta, &gvm, &base).unwrap();
+    assert_eq!(
+        serialize_state(&rec, Codec::None).unwrap(),
+        serialize_state(&susp2.state, Codec::None).unwrap()
+    );
+}
+
+#[test]
+fn mutable_object_in_clean_frames_forces_full_snapshot() {
+    let src = r#"
+(defun holder ()
+  (let ((o (create-object "message")))
+    (. o (set "n" 1))
+    (list :h (inner o))))
+(defun inner (o)
+  (yield :a)
+  (yield :b)
+  o)
+"#;
+    let gvm = Gvm::with_pool_size(1);
+    gvm.load_str(src, "obj-wf").unwrap();
+    let f = gvm.function("holder").unwrap();
+    let RunOutcome::Suspended(susp1) = gvm.call_fiber(&f, vec![]).unwrap() else {
+        panic!();
+    };
+    let full1 = serialize_state(&susp1.state, Codec::None).unwrap();
+    let state1 = deserialize_state(&full1, &gvm).unwrap();
+    let susp2 = suspend(&gvm, state1, Value::Nil);
+    assert!(susp2.state.clean_prefix > 0, "outer frame should be clean");
+    // The clean frame holds a mutable object whose fields can drift
+    // without any frame mutation — the delta writer must refuse.
+    let delta =
+        serialize_state_delta(&susp2.state, susp2.state.clean_prefix, Codec::None, 256).unwrap();
+    assert!(delta.is_none(), "mutable object must force a full snapshot");
+}
+
+#[test]
+fn delta_against_wrong_base_is_rejected() {
+    let gvm = deep_gvm();
+    let f = gvm.function("outer").unwrap();
+    let RunOutcome::Suspended(susp_a) = gvm.call_fiber(&f, vec![Value::from("aaa")]).unwrap()
+    else {
+        panic!();
+    };
+    let RunOutcome::Suspended(susp_b) = gvm.call_fiber(&f, vec![Value::from("bbb")]).unwrap()
+    else {
+        panic!();
+    };
+    let full_a = serialize_state(&susp_a.state, Codec::None).unwrap();
+    let full_b = serialize_state(&susp_b.state, Codec::None).unwrap();
+    let state_a = deserialize_state(&full_a, &gvm).unwrap();
+    let susp_a2 = suspend(&gvm, state_a, Value::Int(1));
+    let delta = serialize_state_delta(&susp_a2.state, susp_a2.state.clean_prefix, Codec::None, 256)
+        .unwrap()
+        .unwrap();
+    let wrong_base = deserialize_state(&full_b, &gvm).unwrap();
+    let err = deserialize_state_delta(&delta, &gvm, &wrong_base).unwrap_err();
+    assert!(err.to_string().contains("mismatch"), "{err}");
+}
+
+#[test]
+fn delta_skipped_without_clean_prefix() {
+    let gvm = deep_gvm();
+    let f = gvm.function("outer").unwrap();
+    let RunOutcome::Suspended(susp) = gvm.call_fiber(&f, vec![Value::from("x")]).unwrap() else {
+        panic!();
+    };
+    assert_eq!(
+        serialize_state_delta(&susp.state, 0, Codec::None, 256).unwrap(),
+        None
+    );
+}
+
+#[test]
+fn dictionary_shrinks_repeated_symbols() {
+    let gvm = Gvm::with_pool_size(1);
+    let v = gvm
+        .eval_str("(loop repeat 64 collect (list 'reconcile-positions :instrument-id))")
+        .unwrap();
+    let with_dict = serialize_value(&v, Codec::None).unwrap();
+    let mut plain = ValueWriter::without_dictionary();
+    plain.write_value(&v).unwrap();
+    let plain = plain.finish();
+    assert!(
+        with_dict.len() * 2 < plain.len(),
+        "dictionary coding should at least halve repeated symbols: {} vs {}",
+        with_dict.len(),
+        plain.len()
+    );
+}
+
+// ---- property test: dictionary coding is observationally invisible ----
+
+mod dict_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn value_strategy() -> BoxedStrategy<Value> {
+        let leaf = prop_oneof![
+            Just(Value::Nil),
+            (0u8..2).prop_map(|b| Value::Bool(b == 1)),
+            (-1i64 << 48..1i64 << 48).prop_map(Value::Int),
+            // Dyadic rationals survive float round trips exactly.
+            (-1i64 << 40..1i64 << 40).prop_map(|n| Value::Float(n as f64 / 1024.0)),
+            "[a-z][a-z0-9-]{0,6}".prop_map(|s| Value::symbol(&s)),
+            "[a-z][a-z0-9-]{0,6}".prop_map(|s| Value::keyword(&s)),
+            "[ -~]{0,12}".prop_map(|s| Value::from(s.as_str())),
+            proptest::char::range('a', 'z').prop_map(Value::Char),
+        ];
+        leaf.prop_recursive(3, 32, 4, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::list),
+                proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::vector),
+                proptest::collection::vec(("[a-z]{1,5}", inner), 0..4).prop_map(|pairs| {
+                    let pairs: Vec<(Value, Value)> = pairs
+                        .into_iter()
+                        .map(|(k, v)| (Value::keyword(&k), v))
+                        .collect();
+                    Value::Map(Arc::new(gozer_lang::AssocMap::from_pairs(pairs)))
+                }),
+            ]
+        })
+    }
+
+    proptest! {
+        /// For arbitrary values, a dictionary-coded round trip and a
+        /// plain (dictionary-off, v1-shaped) round trip agree with each
+        /// other and with the original value.
+        #[test]
+        fn dictionary_roundtrip_equals_plain(v in value_strategy()) {
+            let gvm = Gvm::with_pool_size(1);
+            let coded = serialize_value(&v, Codec::None).unwrap();
+            let via_dict = gozer_serial::deserialize_value(&coded, &gvm).unwrap();
+            prop_assert_eq!(&via_dict, &v);
+
+            let mut plain = ValueWriter::without_dictionary();
+            plain.write_value(&v).unwrap();
+            let plain = plain.finish();
+            let mut r = ValueReader::new(&plain, &gvm);
+            let via_plain = r.read_value().unwrap();
+            prop_assert_eq!(&via_plain, &v);
+            prop_assert_eq!(&via_dict, &via_plain);
+        }
+    }
+}

@@ -23,7 +23,8 @@ use gozer_obs::{
     Snapshot, TimelineSet,
 };
 use gozer_serial::{
-    deserialize_state_costed, deserialize_value, serialize_state_costed, serialize_value,
+    deserialize_state_costed, deserialize_state_delta, deserialize_value,
+    serialize_state_delta, serialize_state_sized, serialize_value,
 };
 use gozer_vm::{Condition, FiberObsEvent, FiberObsKind, FiberState, Gvm, RunOutcome, Unwind, VmError};
 use parking_lot::RwLock;
@@ -73,6 +74,18 @@ pub struct VinzConfig {
     pub retry: RetryPolicy,
     /// Deployment supervisor tunables (respawn, orphan resume).
     pub supervision: SupervisorConfig,
+    /// Persist suspended fibers as *delta snapshots* (changed frames +
+    /// dynamic state against the previous snapshot) whenever the VM
+    /// reports a clean frame prefix (§4.1 serialization fast path).
+    /// Saves that cannot be expressed as a delta — fresh fibers, fully
+    /// dirty stacks, mutable objects reachable from clean frames — fall
+    /// back to full snapshots transparently.
+    pub delta_snapshots: bool,
+    /// Compact a fiber's base + delta chain into a fresh full snapshot
+    /// once it grows this long. Compaction is also forced when the
+    /// fiber migrates nodes (its next loader replays the chain cold
+    /// anyway, so the chain stops paying for itself).
+    pub compact_every: u64,
 }
 
 impl Default for VinzConfig {
@@ -89,6 +102,8 @@ impl Default for VinzConfig {
             join_deadline: Duration::from_secs(600),
             retry: RetryPolicy::default(),
             supervision: SupervisorConfig::default(),
+            delta_snapshots: true,
+            compact_every: 8,
         }
     }
 }
@@ -123,6 +138,24 @@ pub struct VinzMetrics {
     /// Tasks terminally failed because a message of theirs was
     /// dead-lettered.
     pub tasks_dead_lettered: AtomicU64,
+    /// Bytes of persisted delta snapshot records.
+    pub delta_bytes: AtomicU64,
+    /// Bytes of persisted full snapshot records.
+    pub full_bytes: AtomicU64,
+    /// Saves persisted as deltas (the rest of `persist_count` were
+    /// full snapshots).
+    pub delta_saves: AtomicU64,
+}
+
+/// Per-fiber routing and sizing hints, kept in memory beside the store:
+/// the node that last persisted the fiber (stamped on resume messages
+/// as the broker affinity hint) and the size of its last full snapshot
+/// (the serializer's output-buffer hint, so steady-state saves never
+/// reallocate mid-write).
+#[derive(Debug, Clone, Copy)]
+struct FiberHot {
+    node: u32,
+    last_size: usize,
 }
 
 /// One node's runtime: a GVM (the "JVM" of that node) and its fiber
@@ -161,6 +194,7 @@ pub(crate) struct Inner {
     pub metrics: Arc<VinzMetrics>,
     pub serial_costs: Arc<SerialCosts>,
     nodes: RwLock<HashMap<u32, Arc<NodeRuntime>>>,
+    hot: RwLock<HashMap<String, FiberHot>>,
     next_task: AtomicU64,
     next_fiber: AtomicU64,
 }
@@ -251,11 +285,20 @@ impl WorkflowServiceBuilder {
             metrics,
             serial_costs: Arc::new(SerialCosts::new()),
             nodes: RwLock::new(HashMap::new()),
+            hot: RwLock::new(HashMap::new()),
             next_task: AtomicU64::new(1),
             next_fiber: AtomicU64::new(1),
         });
         // Fail fast on compile errors.
         inner.node_runtime(ADMIN_NODE)?;
+        // Service replies (ResumeFromCall) are built by the broker, not
+        // by Vinz: give it the fiber-id → last-saved-node map so those
+        // replies chase the fiber's cache too.
+        let weak = Arc::downgrade(&inner);
+        self.cluster.set_affinity_resolver(move |fiber_id| {
+            weak.upgrade()
+                .and_then(|i| i.hot.read().get(fiber_id).map(|h| h.node))
+        });
         let handler = WorkflowHandler {
             inner: Arc::downgrade(&inner),
         };
@@ -584,6 +627,21 @@ fn register_vinz_metrics(obs: &Arc<Obs>, metrics: &Arc<VinzMetrics>, service: &s
             "Tasks terminally failed by dead-lettered messages.",
             |m| &m.tasks_dead_lettered,
         ),
+        (
+            "gozer_snapshot_delta_bytes_total",
+            "Bytes of persisted delta snapshot records.",
+            |m| &m.delta_bytes,
+        ),
+        (
+            "gozer_snapshot_full_bytes_total",
+            "Bytes of persisted full snapshot records.",
+            |m| &m.full_bytes,
+        ),
+        (
+            "gozer_snapshot_delta_saves_total",
+            "Fiber saves persisted as delta snapshots.",
+            |m| &m.delta_saves,
+        ),
     ] {
         reg.counter_fn(name, help, &labels, mirror(metrics, field));
     }
@@ -739,17 +797,59 @@ impl Inner {
 
     // ---- persistence ----------------------------------------------------
 
-    fn fiber_version(&self, fiber_id: &str) -> Result<u64, VinzError> {
+    /// Snapshot-chain metadata for a fiber: `(version, generation,
+    /// chain_len)`. The *version* increments on every save (the cache
+    /// validity token); the *generation* names the current full-snapshot
+    /// base key (bumped on compaction so a crashed compaction can never
+    /// pair a new base with stale deltas); *chain_len* counts the delta
+    /// records stacked on that base. A 24-byte little-endian record;
+    /// legacy 8-byte records (pre-delta deployments) parse as
+    /// generation 0, chain 0.
+    fn fiber_meta(&self, fiber_id: &str) -> Result<(u64, u64, u64), VinzError> {
         Ok(self
             .store
             .get(&format!("fiber-v/{fiber_id}"))
             .map_err(|e| VinzError(e.to_string()))?
             .map(|b| {
-                let mut buf = [0u8; 8];
-                buf.copy_from_slice(&b[..8.min(b.len())]);
-                u64::from_le_bytes(buf)
+                let word = |i: usize| {
+                    let mut buf = [0u8; 8];
+                    let src = b.get(i * 8..i * 8 + 8).unwrap_or(&[]);
+                    buf[..src.len()].copy_from_slice(src);
+                    u64::from_le_bytes(buf)
+                };
+                (word(0), word(1), word(2))
             })
-            .unwrap_or(0))
+            .unwrap_or((0, 0, 0)))
+    }
+
+    fn put_fiber_meta(
+        &self,
+        fiber_id: &str,
+        version: u64,
+        generation: u64,
+        chain: u64,
+    ) -> Result<(), VinzError> {
+        let mut rec = [0u8; 24];
+        rec[0..8].copy_from_slice(&version.to_le_bytes());
+        rec[8..16].copy_from_slice(&generation.to_le_bytes());
+        rec[16..24].copy_from_slice(&chain.to_le_bytes());
+        self.store
+            .put(&format!("fiber-v/{fiber_id}"), &rec)
+            .map_err(|e| VinzError(e.to_string()))
+    }
+
+    /// Store key of a fiber's full-snapshot base. Generation 0 keeps the
+    /// plain pre-delta key so legacy records stay loadable.
+    fn base_key(fiber_id: &str, generation: u64) -> String {
+        if generation == 0 {
+            format!("fiber/{fiber_id}")
+        } else {
+            format!("fiber/{fiber_id}@{generation}")
+        }
+    }
+
+    fn delta_key(fiber_id: &str, index: u64) -> String {
+        format!("fiber-d/{fiber_id}/{index}")
     }
 
     /// Execution phase of a fiber, used to make the Table-1 operations
@@ -773,46 +873,122 @@ impl Inner {
     }
 
     /// Persist a fiber continuation (under the fiber lock).
+    ///
+    /// Steady state writes a *delta* record (the frames above the VM's
+    /// clean prefix plus the dynamic state) stacked on the fiber's last
+    /// full snapshot; the chain is compacted back into a full snapshot
+    /// every [`VinzConfig::compact_every`] saves, on node migration, or
+    /// whenever a delta would be unsound (no clean prefix, mutable
+    /// object reachable from a clean frame).
+    ///
+    /// Crash ordering: a delta save writes its data key *before* the
+    /// meta record, so a crash in between leaves an orphan delta the
+    /// redelivered save overwrites; a compaction writes the new base
+    /// under a fresh generation key before the meta commits to it, so a
+    /// crash in between leaves the old base + chain fully intact.
     pub(crate) fn save_fiber(
         self: &Arc<Inner>,
         rt: &NodeRuntime,
         instance: u64,
         fiber_id: &str,
-        state: FiberState,
+        mut state: FiberState,
     ) -> Result<(), VinzError> {
-        let (bytes, cost) = serialize_state_costed(&state, self.config.codec)
-            .map_err(|e| VinzError(format!("persist {fiber_id}: {e}")))?;
-        self.serial_costs.record_serialize(cost.bytes, cost.nanos);
-        let version = self.fiber_version(fiber_id)? + 1;
-        self.store
-            .put(&format!("fiber/{fiber_id}"), &bytes)
-            .map_err(|e| VinzError(e.to_string()))?;
-        self.store
-            .put(&format!("fiber-v/{fiber_id}"), &version.to_le_bytes())
-            .map_err(|e| VinzError(e.to_string()))?;
-        rt.cache.put_fiber(fiber_id, version, state);
+        let (version, generation, chain) = self.fiber_meta(fiber_id)?;
+        let hot = self.hot.read().get(fiber_id).copied();
+        let size_hint = hot.map_or(256, |h| h.last_size.max(64));
+        let migrated = hot.is_some_and(|h| h.node != rt.node_id);
+
+        let mut delta = None;
+        if self.config.delta_snapshots
+            && version > 0
+            && !migrated
+            && chain < self.config.compact_every
+        {
+            let start = Instant::now();
+            delta = serialize_state_delta(&state, state.clean_prefix, self.config.codec, size_hint)
+                .map_err(|e| VinzError(format!("persist {fiber_id}: {e}")))?;
+            if let Some(bytes) = &delta {
+                self.serial_costs
+                    .record_serialize(bytes.len() as u64, start.elapsed().as_nanos() as u64);
+            }
+        }
+        let mut full_len = None;
+        let saved_len = match delta {
+            Some(bytes) => {
+                self.store
+                    .put(&Inner::delta_key(fiber_id, chain), &bytes)
+                    .map_err(|e| VinzError(e.to_string()))?;
+                self.put_fiber_meta(fiber_id, version + 1, generation, chain + 1)?;
+                self.metrics.delta_saves.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .delta_bytes
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                bytes.len()
+            }
+            None => {
+                let start = Instant::now();
+                let bytes = serialize_state_sized(&state, self.config.codec, size_hint)
+                    .map_err(|e| VinzError(format!("persist {fiber_id}: {e}")))?;
+                self.serial_costs
+                    .record_serialize(bytes.len() as u64, start.elapsed().as_nanos() as u64);
+                let new_gen = if chain > 0 { generation + 1 } else { generation };
+                self.store
+                    .put(&Inner::base_key(fiber_id, new_gen), &bytes)
+                    .map_err(|e| VinzError(e.to_string()))?;
+                self.put_fiber_meta(fiber_id, version + 1, new_gen, 0)?;
+                // Garbage, not state: the old base and its deltas are
+                // unreachable once the meta names the new generation.
+                if new_gen != generation {
+                    let _ = self.store.delete(&Inner::base_key(fiber_id, generation));
+                    for k in 0..chain {
+                        let _ = self.store.delete(&Inner::delta_key(fiber_id, k));
+                    }
+                }
+                self.metrics
+                    .full_bytes
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                full_len = Some(bytes.len());
+                bytes.len()
+            }
+        };
+        // Delta saves keep the last *full* snapshot size as the buffer
+        // hint but still move the affinity stamp to this node.
+        self.hot.write().insert(
+            fiber_id.to_string(),
+            FiberHot {
+                node: rt.node_id,
+                last_size: full_len.unwrap_or_else(|| hot.map_or(saved_len, |h| h.last_size)),
+            },
+        );
+        // The state we just persisted *is* the new snapshot: every frame
+        // is clean relative to it until the fiber runs again.
+        state.clean_prefix = state.frames.len();
+        rt.cache.put_fiber(fiber_id, version + 1, state);
         self.metrics.persist_count.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .persist_bytes
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            .fetch_add(saved_len as u64, Ordering::Relaxed);
         self.trace.record(
             rt.node_id,
             instance,
             Inner::task_of(fiber_id),
             fiber_id,
-            TraceKind::Persist(bytes.len()),
+            TraceKind::Persist(saved_len),
         );
         Ok(())
     }
 
-    /// Load a fiber continuation, trying the node cache first (§4.2).
+    /// Load a fiber continuation, trying the node cache first (§4.2); a
+    /// miss reads the full-snapshot base and replays any delta chain on
+    /// top, which reconstitutes the state bit-identically to the last
+    /// save.
     fn load_fiber(
         self: &Arc<Inner>,
         rt: &NodeRuntime,
         instance: u64,
         fiber_id: &str,
     ) -> Result<FiberState, VinzError> {
-        let version = self.fiber_version(fiber_id)?;
+        let (version, generation, chain) = self.fiber_meta(fiber_id)?;
         if let Some(state) = rt.cache.get_fiber(fiber_id, version) {
             self.trace.record(
                 rt.node_id,
@@ -825,12 +1001,25 @@ impl Inner {
         }
         let bytes = self
             .store
-            .get(&format!("fiber/{fiber_id}"))
+            .get(&Inner::base_key(fiber_id, generation))
             .map_err(|e| VinzError(e.to_string()))?
             .ok_or_else(|| VinzError(format!("fiber {fiber_id} has no persisted state")))?;
-        let (state, cost) = deserialize_state_costed(&bytes, &rt.gvm)
+        let (mut state, cost) = deserialize_state_costed(&bytes, &rt.gvm)
             .map_err(|e| VinzError(format!("load {fiber_id}: {e}")))?;
         self.serial_costs.record_deserialize(cost.bytes, cost.nanos);
+        for k in 0..chain {
+            let key = Inner::delta_key(fiber_id, k);
+            let dbytes = self
+                .store
+                .get(&key)
+                .map_err(|e| VinzError(e.to_string()))?
+                .ok_or_else(|| VinzError(format!("fiber {fiber_id} is missing delta {k}")))?;
+            let start = Instant::now();
+            state = deserialize_state_delta(&dbytes, &rt.gvm, &state)
+                .map_err(|e| VinzError(format!("load {fiber_id} delta {k}: {e}")))?;
+            self.serial_costs
+                .record_deserialize(dbytes.len() as u64, start.elapsed().as_nanos() as u64);
+        }
         rt.cache.put_fiber(fiber_id, version, state.clone());
         self.metrics.load_count.fetch_add(1, Ordering::Relaxed);
         self.trace.record(
@@ -872,7 +1061,12 @@ impl Inner {
             .ok_or_else(|| VinzError(format!("workflow function {function} is not defined")))?;
         let args = deserialize_value(&msg.body, &rt.gvm)
             .map_err(|e| VinzError(format!("bad Start arguments: {e}")))?;
-        let args: Vec<Value> = args.as_list().unwrap_or(&[]).to_vec();
+        // Freshly deserialized, so the list Arc is unshared and the
+        // argument vector moves out without a per-element clone.
+        let args: Vec<Value> = match args {
+            Value::List(items) => Arc::try_unwrap(items).unwrap_or_else(|a| (*a).clone()),
+            _ => Vec::new(),
+        };
 
         let task_id = self.new_task_id();
         let fiber_id = format!("{task_id}/f0");
@@ -937,7 +1131,18 @@ impl Inner {
         if let Some(d) = deadline {
             msg = msg.with_deadline(d);
         }
-        self.cluster.send(msg);
+        self.cluster.send(self.stamp_affinity(msg, fiber_id));
+    }
+
+    /// Stamp a fiber-bound message with the node that last persisted the
+    /// fiber, so the broker can route it back to the warm §4.2 cache.
+    /// Fibers never saved (fresh children) go unstamped — any node is as
+    /// cold as any other.
+    fn stamp_affinity(&self, msg: Message, fiber_id: &str) -> Message {
+        match self.hot.read().get(fiber_id) {
+            Some(h) => msg.with_affinity(h.node),
+            None => msg,
+        }
     }
 
     /// Run: Start then wait for completion (synchronous; occupies this
@@ -1404,6 +1609,7 @@ impl Inner {
             .map_err(|e| VinzError(e.to_string()))?;
         rt.cache.put_immutable(&key, bytes);
         rt.cache.evict_fiber(fiber_id);
+        self.hot.write().remove(fiber_id);
         self.set_phase(fiber_id, "done")?;
         self.tracker.fiber_finished(task_id);
         self.trace
@@ -1423,10 +1629,13 @@ impl Inner {
                 );
                 // AwakeFiber messages are low priority (§5).
                 self.cluster.send(
-                    Message::new(&self.name, "AwakeFiber", Vec::new())
-                        .header("fiber-id", parent_id.as_str())
-                        .header("from-child", fiber_id)
-                        .with_priority(-1),
+                    self.stamp_affinity(
+                        Message::new(&self.name, "AwakeFiber", Vec::new())
+                            .header("fiber-id", parent_id.as_str())
+                            .header("from-child", fiber_id)
+                            .with_priority(-1),
+                        parent_id,
+                    ),
                 );
             }
         }
@@ -1509,9 +1718,12 @@ impl Inner {
         };
         for waiter in waiters.split(',').filter(|w| !w.is_empty()) {
             self.cluster.send(
-                Message::new(&self.name, "JoinProcess", Vec::new())
-                    .header("fiber-id", waiter)
-                    .header("target", target),
+                self.stamp_affinity(
+                    Message::new(&self.name, "JoinProcess", Vec::new())
+                        .header("fiber-id", waiter)
+                        .header("target", target),
+                    waiter,
+                ),
             );
         }
         Ok(())

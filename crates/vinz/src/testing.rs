@@ -15,7 +15,7 @@ use gozer_serial::{deserialize_value, serialize_value};
 use gozer_vm::Gvm;
 use gozer_xml::ServiceDescription;
 
-use crate::service::{WorkflowObs, WorkflowService};
+use crate::service::{VinzConfig, WorkflowObs, WorkflowService};
 use crate::TaskStatus;
 
 pub use bluebox::chaos::{
@@ -126,6 +126,10 @@ pub struct ChaosRun {
     /// with profiling on, so a sweep can assert opcode and call counts
     /// are schedule-independent).
     pub profile: ProfileReport,
+    /// Fiber saves persisted as delta snapshot records.
+    pub delta_saves: u64,
+    /// Total fiber saves (delta + full).
+    pub persists: u64,
 }
 
 /// Deploy `source` on a fresh 2-node cluster, run `function(args)`
@@ -158,6 +162,21 @@ pub fn run_workflow_under_chaos_flight(
     config: ChaosConfig,
     flight_base: Option<PathBuf>,
 ) -> Result<ChaosRun, String> {
+    run_workflow_under_chaos_vinz(source, function, args, config, VinzConfig::default(), flight_base)
+}
+
+/// [`run_workflow_under_chaos_flight`] with an explicit [`VinzConfig`],
+/// so sweeps can pit deployment variants (delta snapshots on/off,
+/// compaction cadence, codec) against each other under the same fault
+/// schedule. Profiling is forced on regardless of the given config.
+pub fn run_workflow_under_chaos_vinz(
+    source: &str,
+    function: &str,
+    args: Vec<Value>,
+    config: ChaosConfig,
+    vinz: VinzConfig,
+    flight_base: Option<PathBuf>,
+) -> Result<ChaosRun, String> {
     const SERVICE: &str = "workflow";
     let seed = config.seed;
     let cluster = Cluster::new();
@@ -165,6 +184,7 @@ pub fn run_workflow_under_chaos_flight(
     cluster.set_chaos(plan.clone());
     let workflow = WorkflowService::builder(&cluster, SERVICE)
         .source(source)
+        .config(vinz)
         .instances(0, 2)
         .instances(1, 2)
         .profiling(true)
@@ -249,6 +269,10 @@ pub fn run_workflow_under_chaos_flight(
         cluster.shutdown();
         return Err(msg);
     };
+    let counters = workflow.obs();
+    let counters = counters.counters();
+    let delta_saves = counters.delta_saves.load(Ordering::Relaxed);
+    let persists = counters.persist_count.load(Ordering::Relaxed);
     match record.status {
         TaskStatus::Completed(value) => {
             cluster.shutdown();
@@ -259,6 +283,8 @@ pub fn run_workflow_under_chaos_flight(
                 recovered,
                 armed,
                 profile,
+                delta_saves,
+                persists,
             })
         }
         other => {

@@ -134,6 +134,15 @@ pub struct FiberState {
     pub next_restart_id: u64,
     /// Vinz extension data.
     pub ext: FiberExt,
+    /// Number of leading frames known to serialize identically to this
+    /// fiber's last persisted snapshot — the *clean prefix* that delta
+    /// snapshots skip. Transient bookkeeping, never persisted: the GVM
+    /// lowers it as execution touches deeper frames (the interpreter only
+    /// ever mutates the top frame, so the watermark is the minimum stack
+    /// depth seen since the last save), deserialization sets it to
+    /// `frames.len()` (a freshly loaded state *is* its snapshot), and 0
+    /// always means "no clean prefix" — the safe default.
+    pub clean_prefix: usize,
 }
 
 impl FiberState {

@@ -380,7 +380,15 @@ impl Gvm {
             mut dyn_state,
             mut next_restart_id,
             mut ext,
+            clean_prefix,
         } = state;
+        // Dirty-tracking watermark: the interpreter lowers this to the
+        // minimum frame-stack depth it reaches, and every frame below
+        // `low - 1` survives the run untouched (only the top frame ever
+        // mutates). Combined with the incoming prefix this tells the
+        // serializer how much of the suspended state still matches the
+        // fiber's last persisted snapshot.
+        let mut low = frames.len();
         if resume.is_some() {
             if let Some(obs) = &observer {
                 obs(&FiberObsEvent {
@@ -397,6 +405,7 @@ impl Gvm {
             &mut ext,
             false,
             resume,
+            &mut low,
         );
         if let Some(obs) = &observer {
             let kind = match &result {
@@ -418,6 +427,9 @@ impl Gvm {
                     dyn_state,
                     next_restart_id,
                     ext,
+                    // The frame at the watermark itself was the mutable
+                    // top at the lowest point, hence `low - 1` clean.
+                    clean_prefix: clean_prefix.min(low.saturating_sub(1)),
                 },
             })),
             // Vinz `break`: the fiber terminates cleanly with nil (§3.7).

@@ -46,6 +46,14 @@ enum Flow {
 /// Run until completion or suspension. On entry, `resume` (if provided)
 /// is pushed onto the top frame's operand stack — the value "returned by"
 /// the yield that suspended the fiber.
+///
+/// `low` is the dirty-tracking watermark: the interpreter only ever
+/// mutates the top frame (value ops, calls, returns, restart transfers
+/// all work through `top`/push/pop/truncate), so the minimum stack depth
+/// observed between steps bounds the damage — every frame below
+/// `low - 1` is byte-identical to what the caller passed in. Continuation
+/// resumption replaces the whole stack and drops the watermark to 0.
+/// Nested activations pass a throwaway.
 pub(crate) fn interp(
     gvm: &Arc<Gvm>,
     frames: &mut Vec<Frame>,
@@ -54,6 +62,7 @@ pub(crate) fn interp(
     ext: &mut FiberExt,
     nested: bool,
     resume: Option<Value>,
+    low: &mut usize,
 ) -> VmResult<InterpOutcome> {
     if let Some(v) = resume {
         let f = frames
@@ -66,7 +75,7 @@ pub(crate) fn interp(
     // path) attributes whatever is still open.
     let mut prof = gvm.profiler().scope(frames);
     loop {
-        match step(gvm, frames, ds, ids, ext, nested, &mut prof) {
+        match step(gvm, frames, ds, ids, ext, nested, &mut prof, low) {
             Ok(Flow::Continue) => {}
             Ok(Flow::Done(v)) => return Ok(InterpOutcome::Done(v)),
             Ok(Flow::Suspend(payload)) => {
@@ -80,6 +89,7 @@ pub(crate) fn interp(
                 // §4.1: the continuation only becomes available once every
                 // future it references is determined.
                 determine_frames(frames)?;
+                *low = (*low).min(frames.len());
                 return Ok(InterpOutcome::Suspended(payload));
             }
             Err(e) => {
@@ -91,6 +101,7 @@ pub(crate) fn interp(
                 }
             }
         }
+        *low = (*low).min(frames.len());
     }
 }
 
@@ -137,6 +148,7 @@ fn step(
     ext: &mut FiberExt,
     nested: bool,
     prof: &mut Option<ProfScope<'_>>,
+    low: &mut usize,
 ) -> VmResult<Flow> {
     let op = {
         let f = frames
@@ -287,6 +299,9 @@ fn step(
                             *ds = state.dyn_state;
                             *ids = state.next_restart_id;
                             *ext = state.ext;
+                            // Wholesale frame replacement: nothing of the
+                            // incoming stack survives, so no clean prefix.
+                            *low = 0;
                             if let Some(p) = prof.as_mut() {
                                 p.on_replace(frames);
                             }
@@ -372,6 +387,7 @@ fn step(
                 dyn_state: ds.clone(),
                 next_restart_id: *ids,
                 ext: ext.clone(),
+                clean_prefix: 0,
             };
             top(frames)
                 .stack
@@ -580,7 +596,8 @@ pub(crate) fn call_nested(
         if callee.as_callable::<Closure>().is_some() {
             let frame = frame_for_closure(gvm, ds, ids, ext, &callee, args)?;
             let mut frames = vec![frame];
-            return match interp(gvm, &mut frames, ds, ids, ext, true, None)? {
+            let mut low = 0usize;
+            return match interp(gvm, &mut frames, ds, ids, ext, true, None, &mut low)? {
                 InterpOutcome::Done(v) => Ok(v),
                 InterpOutcome::Suspended(_) => Err(VmError::Unwind(Unwind::YieldFromNested)),
             };

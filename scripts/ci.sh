@@ -40,4 +40,25 @@ run make obs-check
 # a consistent hot-function report and well-formed folded stacks.
 run make profile-check
 
+# Bench smoke: run the serialization and cache benches with shrunk
+# populations (BENCH_SMOKE=1) and validate the JSON report shape — the
+# same reports committed at the repo root as BENCH_*.json baselines.
+# Shape only, no perf gating: CI machines are too noisy for thresholds.
+BENCH_TMP="${TMPDIR:-/tmp}/gozer-bench-smoke.$$"
+mkdir -p "$BENCH_TMP"
+trap 'rm -rf "$BENCH_TMP"' EXIT
+run env BENCH_SMOKE=1 "$CARGO" run --release $OFFLINE -q -p gozer-bench \
+    --bin fig1_workflow_lifetime -- --json "$BENCH_TMP/serialization.json"
+run env BENCH_SMOKE=1 "$CARGO" run --release $OFFLINE -q -p gozer-bench \
+    --bin sec42_cache -- --json "$BENCH_TMP/cache.json"
+for key in '"delta_saves"' '"bytes_per_save"' '"steady_state"' '"reduction"'; do
+    grep -q "$key" "$BENCH_TMP/serialization.json" \
+        || { echo "bench-smoke: $key missing from serialization.json" >&2; exit 1; }
+done
+for key in '"mutable_affinity_on"' '"mutable_affinity_off"' '"affinity_hit_rate"' '"paper_mutable_rate"'; do
+    grep -q "$key" "$BENCH_TMP/cache.json" \
+        || { echo "bench-smoke: $key missing from cache.json" >&2; exit 1; }
+done
+echo "bench-smoke: OK"
+
 echo "ci: OK (chaos sweep width $CHAOS_SEEDS)"
