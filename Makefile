@@ -4,7 +4,7 @@
 CARGO ?= cargo
 CHAOS_SEEDS ?= 16
 
-.PHONY: build test test-all test-chaos recovery-check obs-check profile-check bench ci
+.PHONY: build test test-all test-chaos recovery-check obs-check profile-check fuzz-smoke scale-smoke bench ci
 
 build:
 	$(CARGO) build --release
@@ -40,6 +40,21 @@ obs-check:
 # the folded-stack file are all present and well-formed.
 profile-check:
 	sh scripts/profile_check.sh
+
+# Bounded-iteration run of every fuzz target (reader, compiler, serial
+# state, serial delta). FUZZ_ITERS to widen, FUZZ_SEED=<n> to replay a
+# finding (each target prints the per-case seed on failure with
+# FUZZ_VERBOSE=1).
+FUZZ_ITERS ?= 5000
+fuzz-smoke:
+	FUZZ_ITERS=$(FUZZ_ITERS) sh scripts/fuzz_smoke.sh
+
+# Downscaled run of the 1M-fiber scale bench with a shape check on the
+# JSON report. The full-scale run that produces the committed
+# BENCH_scale.json baseline is `cargo run --release -p gozer-bench
+# --bin scale -- --json BENCH_scale.json` (takes minutes).
+scale-smoke:
+	sh scripts/scale_smoke.sh
 
 bench:
 	$(CARGO) bench --workspace

@@ -221,6 +221,15 @@ impl Cluster {
             "",
             move || weak.upgrade().map_or(0, |c| c.affinity_stats().1),
         );
+        // Backpressure introspection: total waiting messages across all
+        // service queues, read by admission gates and the scale bench.
+        let weak = Arc::downgrade(&cluster);
+        cluster.obs.registry.gauge_fn(
+            "gozer_queue_depth",
+            "Waiting messages across all service queues.",
+            "",
+            move || weak.upgrade().map_or(0, |c| c.total_queue_depth() as i64),
+        );
         let weak = Arc::downgrade(&cluster);
         let reaper = std::thread::Builder::new()
             .name("bb-reaper".into())
@@ -564,6 +573,12 @@ impl Cluster {
             .unwrap_or(0)
     }
 
+    /// Total waiting messages across every service queue (the
+    /// `gozer_queue_depth` gauge).
+    pub fn total_queue_depth(&self) -> usize {
+        self.queues.read().values().map(|q| q.depth()).sum()
+    }
+
     /// Block until a service's queue is empty and all its in-flight
     /// messages are settled, or the timeout expires. Returns whether it
     /// drained. Wakes on the queue's idle condition variable — no
@@ -720,9 +735,43 @@ impl Cluster {
         }
     }
 
+    /// Handler-path recovery for fire-and-forget operations: re-queue
+    /// `msg` for another attempt, or quarantine it once its redelivery
+    /// budget is spent. Unlike the reaper's reclaim path this never
+    /// settles the queue lease — the instance loop settles the in-flight
+    /// delivery itself after the handler returns. This is how an
+    /// embedder turns a persistent handler failure (e.g. a corrupt
+    /// persisted continuation) into a dead letter instead of a silently
+    /// dropped message that wedges its task forever.
+    pub fn requeue_or_quarantine(&self, service: &str, msg: Message, reason: &str) {
+        let budget = self.recovery_cfg.read().redelivery_budget;
+        if msg.redeliveries >= budget {
+            self.quarantine_inner(service, msg, reason, false);
+        } else {
+            self.metrics.add(&self.metrics.redelivered, 1);
+            self.obs.bus.emit(msg_event(
+                EventKind::MessageRedelivered {
+                    service: msg.service.clone(),
+                    operation: msg.operation.clone(),
+                },
+                &msg,
+            ));
+            // push_front bumps the redelivery count, so the budget
+            // converges even when every attempt fails the same way.
+            self.queue(service).push_front(msg);
+        }
+    }
+
     /// Move a message to the dead-letter store, settle its queue lease,
     /// and notify observers.
     fn quarantine(&self, service: &str, msg: Message, reason: &str) {
+        self.quarantine_inner(service, msg, reason, true);
+    }
+
+    /// [`quarantine`](Self::quarantine) with the lease settle optional:
+    /// the reaper path owns the abandoned lease and must settle it; the
+    /// handler path's lease is settled by the instance loop.
+    fn quarantine_inner(&self, service: &str, msg: Message, reason: &str, settle: bool) {
         self.recovery_stats.dead_letters.fetch_add(1, Ordering::Relaxed);
         self.obs.bus.emit(msg_event(
             EventKind::MessageDeadLettered {
@@ -742,7 +791,9 @@ impl Cluster {
             .entry(service.to_string())
             .or_default()
             .push(dl.clone());
-        self.queue(service).settle();
+        if settle {
+            self.queue(service).settle();
+        }
         let observers = self.dead_observers.lock();
         for f in observers.iter() {
             f(&dl);

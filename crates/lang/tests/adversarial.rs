@@ -1,0 +1,136 @@
+//! Adversarial reader/compiler tests: hostile program text must come
+//! back as a typed `LangError` (or compile error) — never a stack
+//! overflow, panic, or hang. The `fuzz/` targets `reader` and
+//! `compiler` run the same generators at higher iteration counts.
+
+use std::sync::Arc;
+
+use gozer_lang::reader::MAX_NESTING;
+use gozer_lang::Reader;
+use gozer_vm::Gvm;
+use proptest::TestRng;
+
+/// Nesting beyond `MAX_NESTING` is a typed error, not a stack overflow
+/// — for every bracket flavour the reader knows.
+#[test]
+fn deep_nesting_is_bounded() {
+    for (open, close) in [("(", ")"), ("[", "]"), ("{", "}")] {
+        let depth = MAX_NESTING as usize + 10;
+        let src = format!("{}1{}", open.repeat(depth), close.repeat(depth));
+        let err = Reader::read_all_str(&src).expect_err("over-deep nesting must error");
+        assert!(
+            err.to_string().contains("nesting"),
+            "want nesting error, got: {err}"
+        );
+    }
+    // Mixed-flavour nesting hits the same bound.
+    let mixed: String = (0..MAX_NESTING as usize + 8)
+        .map(|i| ["(", "[", "{"][i % 3])
+        .collect();
+    assert!(Reader::read_all_str(&mixed).is_err());
+    // ...while depth just under the bound still reads.
+    let ok_depth = MAX_NESTING as usize - 2;
+    let src = format!("{}1{}", "(".repeat(ok_depth), ")".repeat(ok_depth));
+    assert!(Reader::read_all_str(&src).is_ok());
+}
+
+/// Unterminated strings, lists, maps, vectors, and block comments all
+/// surface as errors.
+#[test]
+fn unterminated_forms_error() {
+    for src in [
+        "\"never closed",
+        "(1 2 3",
+        "[1 2",
+        "{:a 1",
+        "(defun f () (list 1 2",
+        "#| block comment never ends",
+        "\"escape at the end \\",
+        "(nested \"string (with parens\"",
+    ] {
+        assert!(
+            Reader::read_all_str(src).is_err(),
+            "unterminated form must error: {src:?}"
+        );
+    }
+}
+
+/// Stray closers and malformed atoms error rather than panic.
+#[test]
+fn malformed_atoms_error_or_read() {
+    for src in [")", "]", "}", "(]", "[}", "{)"] {
+        assert!(Reader::read_all_str(src).is_err(), "mismatch: {src:?}");
+    }
+    // Odd but valid-ish atoms must at least not panic.
+    for src in ["#", "#z", ":", "1.2.3", "''", "~@", "\\"] {
+        let _ = Reader::read_all_str(src);
+    }
+}
+
+/// A valid program with one byte mutated either reads+compiles or
+/// errors — it never panics or hangs. Mutations that produce invalid
+/// UTF-8 are skipped (workflow sources are strings by construction).
+#[test]
+fn mutated_programs_never_panic() {
+    let program = r#"
+(defun fib (n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(defun pipeline (items)
+  (for-each (item items)
+    (let ((r (fib item)))
+      (yield {:partial r})
+      r)))
+"#;
+    let mut rng = TestRng::new(0x5EED);
+    let bytes = program.as_bytes();
+    for _ in 0..1500 {
+        let mut m = bytes.to_vec();
+        let i = rng.below(m.len() as u64) as usize;
+        m[i] = rng.next_u64() as u8;
+        let Ok(src) = std::str::from_utf8(&m) else {
+            continue;
+        };
+        if let Ok(forms) = Reader::read_all_str(src) {
+            // Reader survived: push the mutant through the compiler too.
+            drop(forms);
+            let gvm = Gvm::with_pool_size(1);
+            let _ = gvm.load_str(src, "mutant");
+        }
+    }
+}
+
+/// Random ASCII-ish garbage through reader + compiler: no panic.
+#[test]
+fn random_source_never_panics() {
+    let mut rng = TestRng::new(0xFACE);
+    let alphabet: Vec<char> = "()[]{}\"';:#\\ \n\t0123456789abcdefghXYZ+-*/<>=?!.~@&|%"
+        .chars()
+        .collect();
+    for _ in 0..1500 {
+        let len = rng.below(200) as usize;
+        let src: String = (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect();
+        if Reader::read_all_str(&src).is_ok() {
+            let gvm = Gvm::with_pool_size(1);
+            let _ = gvm.load_str(&src, "garbage");
+        }
+    }
+}
+
+/// Deep nesting through the *compiler*: the reader's bound transitively
+/// protects compilation, so the deepest readable program must also
+/// compile (or error) without overflowing the stack.
+#[test]
+fn compiler_survives_max_readable_depth() {
+    let depth = MAX_NESTING as usize - 8;
+    let src = format!(
+        "(defun deep () {}1{})",
+        "(list ".repeat(depth),
+        ")".repeat(depth)
+    );
+    if Reader::read_all_str(&src).is_ok() {
+        let gvm: Arc<Gvm> = Gvm::with_pool_size(1);
+        let _ = gvm.load_str(&src, "deep-unit");
+    }
+}

@@ -264,7 +264,10 @@ pub fn deserialize_state_delta(
     r.shared = slots.into_iter().map(Some).collect();
     r.sym_dict = syms;
     let (next_restart_id, ext, dyn_state) = r.read_state_meta()?;
-    let mut frames = Vec::with_capacity(total);
+    // Cap the pre-allocation: `total` is attacker-controlled (a mutated
+    // record can claim billions of frames) and each missing frame errors
+    // out of the loop below after consuming at least one byte anyway.
+    let mut frames = Vec::with_capacity(total.min(1 << 12));
     frames.extend_from_slice(&base.frames[..prefix]);
     for _ in prefix..total {
         frames.push(r.read_frame()?);

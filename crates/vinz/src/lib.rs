@@ -66,7 +66,7 @@ pub use cache::{CacheStats, FiberCache};
 pub use locks::{FileLocks, InProcessLocks, LockManager, ZkLocks};
 pub use prelude::VINZ_PRELUDE;
 pub use service::{
-    NodeRuntime, VinzConfig, VinzError, VinzMetrics, WorkflowObs, WorkflowService,
+    NodeRuntime, StartError, VinzConfig, VinzError, VinzMetrics, WorkflowObs, WorkflowService,
     WorkflowServiceBuilder,
 };
 pub use store::{FileStore, MemStore, StateStore, StoreError};

@@ -527,8 +527,11 @@ fn read_version(inner: &Arc<Inner>, key: &str) -> VmResult<u64> {
         .get(key)
         .map_err(|e| VmError::msg(e.to_string()))?
         .map(|b| {
+            // Length-tolerant: a truncated/corrupt version record reads
+            // as a low version rather than panicking the instance.
             let mut buf = [0u8; 8];
-            buf.copy_from_slice(&b[..8.min(b.len())]);
+            let src = &b[..8.min(b.len())];
+            buf[..src.len()].copy_from_slice(src);
             u64::from_le_bytes(buf)
         })
         .unwrap_or(0))

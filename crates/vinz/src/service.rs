@@ -19,8 +19,8 @@ use bluebox::{Cluster, Fault, Message, ServiceCtx};
 use gozer_compress::Codec;
 use gozer_lang::Value;
 use gozer_obs::{
-    Event, EventKind, FlightDump, FlightRecorder, FnProfile, Obs, ProfileReport, SerialCosts,
-    Snapshot, TimelineSet,
+    Event, EventKind, FlightDump, FlightRecorder, FnProfile, Histogram, Obs, ProfileReport,
+    SerialCosts, Snapshot, TimelineSet,
 };
 use gozer_serial::{
     deserialize_state_costed, deserialize_state_delta, deserialize_value,
@@ -86,6 +86,23 @@ pub struct VinzConfig {
     /// fiber migrates nodes (its next loader replays the chain cold
     /// anyway, so the chain stops paying for itself).
     pub compact_every: u64,
+    /// Admission control: maximum tasks in flight (started but not yet
+    /// final) before new `Start`s are delayed and then shed. `0`
+    /// disables the check.
+    pub max_inflight_tasks: usize,
+    /// Admission control: maximum waiting messages across the cluster's
+    /// service queues before new `Start`s are delayed/shed. `0`
+    /// disables the check.
+    pub max_queue_depth: usize,
+    /// Admission control: maximum suspended fibers before new `Start`s
+    /// are delayed/shed. `0` disables the check.
+    pub max_suspended_fibers: u64,
+    /// How many times an over-pressure `Start` is delayed (each delay
+    /// is one `admission_backoff` sleep) before it is rejected. `0`
+    /// rejects immediately — the load-shedding configuration.
+    pub admission_retries: u32,
+    /// Sleep between admission re-checks of a delayed `Start`.
+    pub admission_backoff: Duration,
 }
 
 impl Default for VinzConfig {
@@ -104,6 +121,11 @@ impl Default for VinzConfig {
             supervision: SupervisorConfig::default(),
             delta_snapshots: true,
             compact_every: 8,
+            max_inflight_tasks: 0,
+            max_queue_depth: 0,
+            max_suspended_fibers: 0,
+            admission_retries: 3,
+            admission_backoff: Duration::from_millis(5),
         }
     }
 }
@@ -145,6 +167,18 @@ pub struct VinzMetrics {
     /// Saves persisted as deltas (the rest of `persist_count` were
     /// full snapshots).
     pub delta_saves: AtomicU64,
+    /// `Start`s shed by the admission gate (typed rejection returned to
+    /// the caller).
+    pub admission_rejected: AtomicU64,
+    /// `Start`s delayed (backoff slept at least once) by the admission
+    /// gate before being admitted or rejected.
+    pub admission_delayed: AtomicU64,
+    /// Fibers currently suspended with a persisted continuation.
+    /// Incremented on every suspension persist, decremented when a
+    /// resume operation reloads the fiber; approximate under task
+    /// termination (resumes addressed to already-finished tasks drop
+    /// without decrementing).
+    pub suspended_fibers: AtomicU64,
 }
 
 /// Per-fiber routing and sizing hints, kept in memory beside the store:
@@ -181,6 +215,34 @@ impl std::fmt::Display for VinzError {
 
 impl std::error::Error for VinzError {}
 
+/// Outcome of a gated [`WorkflowService::try_start`]: the admission
+/// layer sheds load with a *typed* rejection, distinct from transport
+/// or deployment failures, so callers can retry-with-backoff instead of
+/// treating shed as an error.
+#[derive(Debug, Clone)]
+pub enum StartError {
+    /// The admission gate shed the start; `reason` names the threshold
+    /// that was over (inflight tasks, queue depth, or suspended
+    /// fibers).
+    Rejected {
+        /// Which pressure signal rejected the start.
+        reason: String,
+    },
+    /// The start was admitted but failed downstream.
+    Failed(VinzError),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Rejected { reason } => write!(f, "admission rejected: {reason}"),
+            StartError::Failed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
 pub(crate) struct Inner {
     pub name: String,
     pub source: String,
@@ -193,6 +255,9 @@ pub(crate) struct Inner {
     pub trace: Trace,
     pub metrics: Arc<VinzMetrics>,
     pub serial_costs: Arc<SerialCosts>,
+    /// Start→complete latency histogram (`gozer_task_latency_seconds`),
+    /// fed by [`Inner::finish_task`] on each first final transition.
+    pub task_latency: Arc<Histogram>,
     nodes: RwLock<HashMap<u32, Arc<NodeRuntime>>>,
     hot: RwLock<HashMap<String, FiberHot>>,
     next_task: AtomicU64,
@@ -272,6 +337,11 @@ impl WorkflowServiceBuilder {
         let obs = self.cluster.obs();
         let metrics = Arc::new(VinzMetrics::default());
         register_vinz_metrics(&obs, &metrics, &self.name);
+        let task_latency = obs.registry.histogram(
+            "gozer_task_latency_seconds",
+            "Start→complete task latency.",
+            &format!("service=\"{}\"", self.name),
+        );
         let inner = Arc::new(Inner {
             name: self.name.clone(),
             source: self.source,
@@ -284,6 +354,7 @@ impl WorkflowServiceBuilder {
             obs,
             metrics,
             serial_costs: Arc::new(SerialCosts::new()),
+            task_latency,
             nodes: RwLock::new(HashMap::new()),
             hot: RwLock::new(HashMap::new()),
             next_task: AtomicU64::new(1),
@@ -342,8 +413,90 @@ impl WorkflowService {
     }
 
     /// Asynchronously begin execution of a workflow, returning its task
-    /// id (the Start operation).
+    /// id (the Start operation). Admission-gate sheds surface as a
+    /// plain [`VinzError`] here; use [`WorkflowService::try_start`] for
+    /// the typed rejection.
     pub fn start(
+        &self,
+        function: &str,
+        args: Vec<Value>,
+        deadline: Option<Duration>,
+    ) -> Result<String, VinzError> {
+        self.try_start(function, args, deadline).map_err(|e| match e {
+            StartError::Rejected { reason } => VinzError(format!("admission rejected: {reason}")),
+            StartError::Failed(e) => e,
+        })
+    }
+
+    /// Which admission threshold (if any) is currently over pressure.
+    /// `None` means a start may be admitted right now.
+    fn admission_pressure(&self) -> Option<String> {
+        let cfg = &self.inner.config;
+        if cfg.max_inflight_tasks > 0 {
+            let running = self.inner.tracker.running_count();
+            if running >= cfg.max_inflight_tasks as u64 {
+                return Some(format!(
+                    "inflight tasks {running} >= max_inflight_tasks {}",
+                    cfg.max_inflight_tasks
+                ));
+            }
+        }
+        if cfg.max_queue_depth > 0 {
+            let depth = self.inner.cluster.total_queue_depth();
+            if depth >= cfg.max_queue_depth {
+                return Some(format!(
+                    "queue depth {depth} >= max_queue_depth {}",
+                    cfg.max_queue_depth
+                ));
+            }
+        }
+        if cfg.max_suspended_fibers > 0 {
+            let susp = self.inner.metrics.suspended_fibers.load(Ordering::Relaxed);
+            if susp >= cfg.max_suspended_fibers {
+                return Some(format!(
+                    "suspended fibers {susp} >= max_suspended_fibers {}",
+                    cfg.max_suspended_fibers
+                ));
+            }
+        }
+        None
+    }
+
+    /// [`WorkflowService::start`] behind the admission gate: when a
+    /// pressure threshold is crossed the start is delayed up to
+    /// `admission_retries` backoff sleeps, then shed with a typed
+    /// [`StartError::Rejected`] instead of queuing into an overloaded
+    /// cluster.
+    pub fn try_start(
+        &self,
+        function: &str,
+        args: Vec<Value>,
+        deadline: Option<Duration>,
+    ) -> Result<String, StartError> {
+        let mut waits = 0u32;
+        while let Some(reason) = self.admission_pressure() {
+            if waits >= self.inner.config.admission_retries {
+                self.inner
+                    .metrics
+                    .admission_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(StartError::Rejected { reason });
+            }
+            if waits == 0 {
+                self.inner
+                    .metrics
+                    .admission_delayed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            waits += 1;
+            std::thread::sleep(self.inner.config.admission_backoff);
+        }
+        self.start_unchecked(function, args, deadline)
+            .map_err(StartError::Failed)
+    }
+
+    /// The ungated Start path (no admission check).
+    fn start_unchecked(
         &self,
         function: &str,
         args: Vec<Value>,
@@ -642,9 +795,26 @@ fn register_vinz_metrics(obs: &Arc<Obs>, metrics: &Arc<VinzMetrics>, service: &s
             "Fiber saves persisted as delta snapshots.",
             |m| &m.delta_saves,
         ),
+        (
+            "gozer_admission_rejected_total",
+            "Starts shed by the admission gate.",
+            |m| &m.admission_rejected,
+        ),
+        (
+            "gozer_admission_delayed_total",
+            "Starts delayed by the admission gate before a decision.",
+            |m| &m.admission_delayed,
+        ),
     ] {
         reg.counter_fn(name, help, &labels, mirror(metrics, field));
     }
+    let m = metrics.clone();
+    reg.gauge_fn(
+        "gozer_suspended_fibers",
+        "Fibers currently suspended with a persisted continuation.",
+        &labels,
+        move || m.suspended_fibers.load(Ordering::Relaxed) as i64,
+    );
 }
 
 struct WorkflowHandler {
@@ -667,6 +837,24 @@ impl bluebox::Handler for WorkflowHandler {
             "JoinProcess" => inner.op_join_process(ctx, msg),
             other => Err(VinzError(format!("unknown operation {other}"))),
         };
+        // Fire-and-forget fiber operations have nowhere to surface a
+        // fault: a corrupt continuation (bad `fiber-v/` chain, mangled
+        // snapshot) would otherwise wedge its task forever. Route the
+        // failed delivery back through the broker's redelivery budget so
+        // it retries a bounded number of times and then dead-letters —
+        // which the dead-letter observer turns into a task failure.
+        if let Err(e) = &result {
+            let fire_and_forget = matches!(
+                msg.operation.as_str(),
+                "RunFiber" | "AwakeFiber" | "ResumeFromCall" | "JoinProcess"
+            ) && matches!(msg.reply_to, bluebox::ReplyTo::Nowhere);
+            if fire_and_forget {
+                inner
+                    .cluster
+                    .requeue_or_quarantine(&msg.service, msg.clone(), &e.0);
+                return Ok(Vec::new());
+            }
+        }
         result.map_err(|e| Fault::new("{vinz}OperationFailed", e.0))
     }
 }
@@ -1178,7 +1366,7 @@ impl Inner {
         let task_id = msg
             .get_header("task-id")
             .ok_or_else(|| VinzError("Terminate requires task-id".into()))?;
-        self.tracker.finish(
+        self.finish_task(
             task_id,
             TaskStatus::Terminated(Condition::new("terminated", "terminated by management request")),
         );
@@ -1284,6 +1472,7 @@ impl Inner {
             &fiber_id,
             TraceKind::Resume("awake".into()),
         );
+        self.suspended_dec();
         self.drive_fiber(ctx, &rt, &fiber_id, state, Some(Value::Nil))
     }
 
@@ -1393,6 +1582,7 @@ impl Inner {
             &fiber_id,
             TraceKind::Resume("service-call".into()),
         );
+        self.suspended_dec();
         self.drive_fiber(ctx, &rt, &fiber_id, state, Some(resume))
     }
 
@@ -1455,6 +1645,7 @@ impl Inner {
             &fiber_id,
             TraceKind::Resume("join".into()),
         );
+        self.suspended_dec();
         self.drive_fiber(ctx, &rt, &fiber_id, state, Some(result))
     }
 
@@ -1465,6 +1656,23 @@ impl Inner {
             .status(task_id)
             .map(|s| s.is_final())
             .unwrap_or(false)
+    }
+
+    /// Move a task to a final state and, when *this* call performed the
+    /// transition, feed the start→complete latency histogram.
+    pub(crate) fn finish_task(&self, task_id: &str, status: TaskStatus) {
+        if let Some(d) = self.tracker.finish(task_id, status) {
+            self.task_latency.observe_duration(d);
+        }
+    }
+
+    /// Decrement the suspended-fiber gauge without wrapping below zero
+    /// (a resume can race a terminate that already dropped the count).
+    fn suspended_dec(&self) {
+        let _ = self
+            .metrics
+            .suspended_fibers
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
     }
 
     /// Validate the task definition exists (every fiber execution
@@ -1538,6 +1746,7 @@ impl Inner {
                         )
                         .map_err(|e| VinzError(e.to_string()))?;
                     self.set_phase(fiber_id, "suspended")?;
+                    self.metrics.suspended_fibers.fetch_add(1, Ordering::Relaxed);
                     self.register_join_waiter(&target, fiber_id)?;
                 } else {
                     self.save_fiber(rt, ctx.instance_id, fiber_id, susp.state)?;
@@ -1545,6 +1754,7 @@ impl Inner {
                         .put(&format!("susp/{fiber_id}"), reason.as_bytes())
                         .map_err(|e| VinzError(e.to_string()))?;
                     self.set_phase(fiber_id, "suspended")?;
+                    self.metrics.suspended_fibers.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Err(VmError::Unwind(Unwind::TerminateTask(cond))) => {
@@ -1557,7 +1767,7 @@ impl Inner {
                     fiber_id,
                     TraceKind::TaskDone("terminated".into()),
                 );
-                self.tracker.finish(&task_id, TaskStatus::Terminated(cond));
+                self.finish_task(&task_id, TaskStatus::Terminated(cond));
             }
             Err(e) => {
                 // Unhandled condition: the fiber dies and, with it, the
@@ -1581,7 +1791,7 @@ impl Inner {
                         self.flight_dump(&format!("task {task_id} failed at {fiber_id}: {cond}"));
                     let _ = self.obs.flight.record(&format!("{task_id}-failed"), &dump);
                 }
-                self.tracker.finish(&task_id, TaskStatus::Failed(cond));
+                self.finish_task(&task_id, TaskStatus::Failed(cond));
             }
         }
         Ok(Vec::new())
@@ -1652,8 +1862,7 @@ impl Inner {
                 fiber_id,
                 TraceKind::TaskDone("completed".into()),
             );
-            self.tracker
-                .finish(task_id, TaskStatus::Completed(value));
+            self.finish_task(task_id, TaskStatus::Completed(value));
         }
         Ok(())
     }

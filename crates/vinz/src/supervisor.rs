@@ -484,7 +484,7 @@ pub(crate) fn install_dead_letter_observer(inner: &Arc<Inner>) {
             ));
             let _ = inner.obs.flight.record(&format!("{task}-dead-letter"), &dump);
         }
-        inner.tracker.finish(&task, TaskStatus::Failed(cond));
+        inner.finish_task(&task, TaskStatus::Failed(cond));
     });
 }
 

@@ -2,6 +2,7 @@
 //! one): task status, results, fiber accounting, and blocking waits.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use gozer_lang::Value;
@@ -73,6 +74,9 @@ impl TaskRecord {
 pub struct TaskTracker {
     state: Mutex<HashMap<String, TaskRecord>>,
     cond: Condvar,
+    /// Tasks started but not yet final — kept as an atomic beside the
+    /// map so the admission gate can read it without taking the lock.
+    running: AtomicU64,
 }
 
 impl TaskTracker {
@@ -83,6 +87,7 @@ impl TaskTracker {
 
     /// Register a new running task.
     pub fn task_started(&self, id: &str, deadline: Option<Instant>) {
+        self.running.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock();
         st.insert(
             id.to_string(),
@@ -113,18 +118,32 @@ impl TaskTracker {
     }
 
     /// Move a task to a final state (first writer wins; later attempts —
-    /// e.g. a fiber noticing termination — are ignored).
-    pub fn finish(&self, task_id: &str, status: TaskStatus) {
+    /// e.g. a fiber noticing termination — are ignored). Returns the
+    /// task's start→complete duration when *this* call performed the
+    /// transition (the latency-histogram sample), `None` on duplicates
+    /// and unknown tasks.
+    pub fn finish(&self, task_id: &str, status: TaskStatus) -> Option<Duration> {
         debug_assert!(status.is_final());
+        let mut duration = None;
         let mut st = self.state.lock();
         if let Some(rec) = st.get_mut(task_id) {
             if !rec.status.is_final() {
+                let now = Instant::now();
                 rec.status = status;
-                rec.finished_at = Some(Instant::now());
+                rec.finished_at = Some(now);
+                duration = Some(now.duration_since(rec.started_at));
+                self.running.fetch_sub(1, Ordering::Relaxed);
             }
         }
         drop(st);
         self.cond.notify_all();
+        duration
+    }
+
+    /// Tasks started but not yet final (the admission gate's in-flight
+    /// count).
+    pub fn running_count(&self) -> u64 {
+        self.running.load(Ordering::Relaxed)
     }
 
     /// Current record.
@@ -207,6 +226,24 @@ mod tests {
         t.task_started("t1", None);
         assert!(t.wait("t1", Duration::from_millis(20)).is_none());
         assert!(t.wait("unknown", Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn running_count_tracks_inflight() {
+        let t = TaskTracker::new();
+        assert_eq!(t.running_count(), 0);
+        t.task_started("a", None);
+        t.task_started("b", None);
+        assert_eq!(t.running_count(), 2);
+        assert!(t.finish("a", TaskStatus::Completed(Value::Nil)).is_some());
+        assert_eq!(t.running_count(), 1);
+        // A duplicate finish yields no sample and no double decrement.
+        assert!(t
+            .finish("a", TaskStatus::Failed(Condition::error("late")))
+            .is_none());
+        assert_eq!(t.running_count(), 1);
+        assert!(t.finish("unknown", TaskStatus::Completed(Value::Nil)).is_none());
+        assert_eq!(t.running_count(), 1);
     }
 
     #[test]

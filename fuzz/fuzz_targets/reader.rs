@@ -1,0 +1,50 @@
+//! Fuzz target: the Gozer reader. Arbitrary source text — random
+//! garbage, mutated valid programs, pathological nesting — must return
+//! `Ok` or a typed `LangError`, never panic or overflow the stack.
+
+use gozer_fuzz::{drive, mutate};
+use gozer_lang::Reader;
+
+const SEEDS: &[&str] = &[
+    "(defun f (n) (if (< n 2) n (+ (f (- n 1)) (f (- n 2)))))",
+    "(defun g (xs) (for-each (x xs) (yield {:v x}) x))",
+    "{:a [1 2 3] :b \"str\" :c (list 'sym :kw #\\c)}",
+    "; comment\n#| block |# (quote (1 . 2))",
+];
+
+fn main() {
+    let alphabet: Vec<char> = "()[]{}\"';:#\\ \n\t0123456789abcdef+-*/<>=?!.~@&|%λ"
+        .chars()
+        .collect();
+    drive("reader", |rng| {
+        let src = match rng.below(3) {
+            // Random text over a reader-relevant alphabet.
+            0 => {
+                let len = rng.below(300) as usize;
+                (0..len)
+                    .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                    .collect::<String>()
+            }
+            // Byte-level mutation of a valid program (UTF-8 permitting).
+            1 => {
+                let base = SEEDS[rng.below(SEEDS.len() as u64) as usize];
+                match String::from_utf8(mutate(rng, base.as_bytes(), 4)) {
+                    Ok(s) => s,
+                    Err(_) => return,
+                }
+            }
+            // Pathological nesting around the recursion bound.
+            _ => {
+                let depth = 200 + rng.below(120) as usize;
+                let open = ["(", "[", "{"][rng.below(3) as usize];
+                let close = match open {
+                    "(" => ")",
+                    "[" => "]",
+                    _ => "}",
+                };
+                format!("{}1{}", open.repeat(depth), close.repeat(depth))
+            }
+        };
+        let _ = Reader::read_all_str(&src);
+    });
+}

@@ -1,0 +1,89 @@
+//! Fuzz target: delta-snapshot deserialization. Mutated, truncated, and
+//! header-forged delta records applied to the correct base (and to a
+//! wrong one) must fail with a typed error — in particular the frame
+//! counts in the header are attacker-controlled and must not drive
+//! allocation or indexing.
+
+use std::sync::Arc;
+
+use gozer_compress::Codec;
+use gozer_fuzz::{drive, mutate, random_bytes};
+use gozer_lang::Value;
+use gozer_serial::{
+    deserialize_state, deserialize_state_delta, serialize_state, serialize_state_delta,
+};
+use gozer_vm::{FiberState, Gvm, RunOutcome};
+
+const WF: &str = r#"
+(defun leaf (a)
+  (let ((x (yield :one)) (y (yield :two))) (list a x y)))
+(defun wrap (a) (list :w (leaf (concat "leaf-" a))))
+(defun outer (a) (list :outer (wrap a)))
+"#;
+
+fn fixture(gvm: &Arc<Gvm>) -> (Vec<u8>, FiberState, FiberState) {
+    let f = gvm.function("outer").unwrap();
+    let RunOutcome::Suspended(susp1) = gvm.call_fiber(&f, vec![Value::from("job")]).unwrap()
+    else {
+        panic!("expected suspension at :one");
+    };
+    let full1 = serialize_state(&susp1.state, Codec::None).unwrap();
+    let state1 = deserialize_state(&full1, gvm).unwrap();
+    let RunOutcome::Suspended(susp2) = gvm.resume_fiber(state1, Value::Int(10)).unwrap() else {
+        panic!("expected suspension at :two");
+    };
+    let delta = serialize_state_delta(&susp2.state, susp2.state.clean_prefix, Codec::None, 256)
+        .unwrap()
+        .expect("delta applies");
+    let base = deserialize_state(&full1, gvm).unwrap();
+    let RunOutcome::Suspended(other) = gvm
+        .call_fiber(&f, vec![Value::from("a-different-job")])
+        .unwrap()
+    else {
+        panic!("expected suspension");
+    };
+    (delta, base, other.state)
+}
+
+fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn main() {
+    let gvm = Gvm::with_pool_size(1);
+    gvm.load_str(WF, "fuzz-wf").unwrap();
+    let (delta, base, wrong_base) = fixture(&gvm);
+    drive("serial_delta", |rng| {
+        let bytes = match rng.below(3) {
+            // Garbage behind the delta's envelope + marker prefix.
+            0 => {
+                let mut b = random_bytes(rng, 256);
+                let mut forged = delta[..5].to_vec(); // GZ, ver, codec, 0xD5
+                forged.append(&mut b);
+                forged
+            }
+            // Forged header uvarints (prefix/total), valid tail.
+            1 => {
+                let mut forged = delta[..5].to_vec();
+                write_uvarint(&mut forged, rng.next_u64() >> (rng.below(56) as u32));
+                write_uvarint(&mut forged, rng.next_u64() >> (rng.below(56) as u32));
+                forged.extend_from_slice(&delta[5..]);
+                forged
+            }
+            // Byte mutations / truncations of the whole record.
+            _ => mutate(rng, &delta, 4),
+        };
+        let _ = deserialize_state_delta(&bytes, &gvm, &base);
+        // The unmodified record against a mismatched base must also be
+        // rejected (checksum), and a mutated one must never mis-apply.
+        let _ = deserialize_state_delta(&bytes, &gvm, &wrong_base);
+    });
+}

@@ -61,4 +61,14 @@ for key in '"mutable_affinity_on"' '"mutable_affinity_off"' '"affinity_hit_rate"
 done
 echo "bench-smoke: OK"
 
+# Adversarial-input gate: bounded-iteration run of every fuzz target
+# (reader, compiler, serial state, serial delta) — any panic, abort, or
+# hang is a finding — plus the downscaled scale bench with its JSON
+# shape check.
+FUZZ_ITERS="${FUZZ_ITERS:-2000}"
+export FUZZ_ITERS
+run make fuzz-smoke
+
+run make scale-smoke
+
 echo "ci: OK (chaos sweep width $CHAOS_SEEDS)"

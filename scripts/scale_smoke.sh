@@ -1,0 +1,27 @@
+#!/bin/sh
+# Scale smoke: the 1M-fiber scale bench with BENCH_SMOKE=1 (population
+# shrunk to thousands so it finishes in seconds), then a shape check on
+# the JSON report — the same fields as the committed BENCH_scale.json
+# baseline. Shape only, no perf gating: CI machines are too noisy.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CARGO="${CARGO:-cargo}"
+OFFLINE="${CARGO_OFFLINE:---offline}"
+
+OUT="${TMPDIR:-/tmp}/gozer-scale-smoke.$$.json"
+trap 'rm -f "$OUT"' EXIT
+
+echo "+ scale bench (smoke)"
+env BENCH_SMOKE=1 "$CARGO" run --release $OFFLINE -q -p gozer-bench \
+    --bin scale -- --json "$OUT"
+
+for key in '"suspended_fibers_peak"' '"suspended_fibers_during_churn"' \
+           '"starts_per_min"' '"p50"' '"p95"' '"p99"' \
+           '"rejected"' '"delayed"' '"sampled"' '"completed"'; do
+    grep -q "$key" "$OUT" \
+        || { echo "scale-smoke: $key missing from scale report" >&2; exit 1; }
+done
+
+echo "scale-smoke: OK"
