@@ -4,7 +4,7 @@
 CARGO ?= cargo
 CHAOS_SEEDS ?= 16
 
-.PHONY: build test test-all test-chaos recovery-check obs-check profile-check fuzz-smoke scale-smoke bench ci
+.PHONY: build test test-all test-chaos recovery-check obs-check profile-check fuzz-smoke scale-smoke store-smoke bench ci
 
 build:
 	$(CARGO) build --release
@@ -55,6 +55,14 @@ fuzz-smoke:
 # --bin scale -- --json BENCH_scale.json` (takes minutes).
 scale-smoke:
 	sh scripts/scale_smoke.sh
+
+# Downscaled run of the §5 production-day bench (cluster slice + the
+# FileStore-vs-LogStore saves/sec replay) with a shape check on the JSON
+# report. The full run that produces the committed BENCH_store.json
+# baseline is `cargo run --release -p gozer-bench --bin
+# sec5_production_day -- --json BENCH_store.json`.
+store-smoke:
+	sh scripts/store_smoke.sh
 
 bench:
 	$(CARGO) bench --workspace

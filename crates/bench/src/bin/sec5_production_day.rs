@@ -3,16 +3,50 @@
 //! First regenerates the paper's aggregate numbers from the calibrated
 //! generator (10,000 tasks, ~45,000 fibers, 20 ms – 12 h range, ~1 min
 //! mean, ~190 h serial), then executes a time-scaled subset of the day on
-//! the simulated cluster and reports the achieved concurrency.
+//! the simulated cluster and reports the achieved concurrency, and
+//! finally replays the day's persistence traffic against the durable
+//! store backends — FileStore (one fsync'd rename per save) vs LogStore
+//! (group-commit log) — to measure the saves/sec headroom group commit
+//! buys.
 //!
 //! ```bash
-//! cargo run --release -p gozer-bench --bin sec5_production_day
+//! cargo run --release -p gozer-bench --bin sec5_production_day [-- --json BENCH_store.json]
 //! ```
+//!
+//! `BENCH_SMOKE=1` shrinks every population so CI finishes in seconds.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gozer::{GozerSystem, TaskStatus, Value, VinzConfig};
-use gozer_bench::{production_day, Table};
+use gozer::{
+    FileStore, FsyncPolicy, GozerSystem, LogStore, StateStore, TaskStatus, Value, VinzConfig,
+};
+use gozer_bench::{json_path_from_args, production_day, smoke_mode, Json, Table};
+
+/// One simulated fiber save, shaped like `save_fiber`'s write: the
+/// continuation bytes plus the 24-byte meta record naming them, as one
+/// atomic batch.
+fn replay_saves(store: &dyn StateStore, threads: usize, saves: usize, payload: &[u8]) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let meta = [0u8; 24];
+                for i in 0..saves {
+                    let data_key = format!("fiber/bench-{t}-{i}");
+                    let meta_key = format!("fiber-v/bench-{t}-{i}");
+                    store
+                        .put_batch(&[(&data_key, payload), (&meta_key, &meta)])
+                        .expect("bench save");
+                }
+            });
+        }
+    });
+    // The durability point: nothing counts until it is on disk.
+    store.flush().expect("bench flush");
+    let wall = t0.elapsed().as_secs_f64();
+    (threads * saves) as f64 / wall
+}
 
 const WORKFLOW: &str = "
 (defun main (total-ms fibers)
@@ -58,8 +92,10 @@ fn main() {
 
     // ---- execute a scaled slice on the cluster -------------------------
     // 200 tasks at 1/5000 time scale: the 68 s mean becomes ~14 ms.
+    let smoke = smoke_mode();
+    let slice_tasks = if smoke { 40 } else { 200 };
     let scale = 1.0 / 5000.0;
-    let (specs, slice_stats) = production_day(200, scale, false, 7);
+    let (specs, slice_stats) = production_day(slice_tasks, scale, false, 7);
     let mut config = VinzConfig::default();
     config.spawn_limit = 8;
     let profiling = std::env::var("GOZER_PROFILE").map(|v| v != "0").unwrap_or(true);
@@ -167,5 +203,100 @@ fn main() {
         print!("{}", profile.top_functions(10));
     }
     assert_eq!(completed, specs.len(), "every task must complete");
+    let persists = m.persist_count.load(std::sync::atomic::Ordering::Relaxed);
     sys.shutdown();
+
+    // ---- durable-store replay: FileStore vs LogStore -------------------
+    // The §5 day persists ~45k continuations; replay that traffic shape
+    // (concurrent instances, ~1 KiB compressed continuation + meta per
+    // save) against both durable backends and measure saves/sec at the
+    // durability point.
+    let threads = 4;
+    let saves = if smoke { 50 } else { 250 };
+    let payload = vec![0xA5u8; 1024];
+    let base = std::env::temp_dir().join(format!(
+        "gozer-sec5-store-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+
+    let file_dir = base.join("file");
+    let file_store = FileStore::builder(&file_dir)
+        .fsync(FsyncPolicy::Always)
+        .build()
+        .unwrap();
+    let file_rate = replay_saves(&file_store, threads, saves, &payload);
+
+    let log_dir = base.join("log");
+    let log_store = Arc::new(LogStore::builder(&log_dir).build().unwrap());
+    let log_rate = replay_saves(log_store.as_ref(), threads, saves, &payload);
+    let log_stats = log_store.stats();
+    drop(log_store);
+    let speedup = log_rate / file_rate;
+
+    let mut t = Table::new(
+        "sec5 — durable saves/sec: fsync-per-save vs group commit",
+        &["backend", "saves/sec", "fsyncs", "notes"],
+    );
+    t.row(&[
+        "FileStore (fsync always)".into(),
+        format!("{file_rate:.0}"),
+        format!("{}", threads * saves),
+        "one fsync'd rename per save".into(),
+    ]);
+    t.row(&[
+        "LogStore (group commit)".into(),
+        format!("{log_rate:.0}"),
+        log_stats.fsyncs.to_string(),
+        format!(
+            "{} commits batched {} saves",
+            log_stats.group_commits, log_stats.committed_entries
+        ),
+    ]);
+    t.row(&[
+        "speedup".into(),
+        format!("{speedup:.1}x"),
+        String::new(),
+        String::new(),
+    ]);
+    t.print();
+    let _ = std::fs::remove_dir_all(&base);
+
+    if let Some(path) = json_path_from_args() {
+        let doc = Json::obj()
+            .field("bench", "sec5_production_day")
+            .field("smoke", smoke)
+            .field(
+                "slice",
+                Json::obj()
+                    .field("tasks", specs.len())
+                    .field("completed", completed as u64)
+                    .field("fibers_spec", slice_stats.fibers)
+                    .field("fibers_created", fibers_created)
+                    .field("serial_ms", serial.as_secs_f64() * 1000.0)
+                    .field("wall_ms", wall.as_secs_f64() * 1000.0)
+                    .field("concurrency", serial.as_secs_f64() / wall.as_secs_f64())
+                    .field("persists", persists),
+            )
+            .field(
+                "store",
+                Json::obj()
+                    .field("threads", threads)
+                    .field("saves_per_thread", saves)
+                    .field("payload_bytes", payload.len())
+                    .field("file_saves_per_sec", file_rate)
+                    .field("log_saves_per_sec", log_rate)
+                    .field("speedup", speedup)
+                    .field("file_fsyncs", (threads * saves) as u64)
+                    .field("log_fsyncs", log_stats.fsyncs)
+                    .field("log_group_commits", log_stats.group_commits)
+                    .field("log_committed_entries", log_stats.committed_entries)
+                    .field("log_bytes", log_stats.log_bytes),
+            );
+        doc.write(&path).expect("write BENCH_store.json");
+        println!("wrote {}", path.display());
+    }
 }

@@ -135,6 +135,17 @@ pub struct Cluster {
     recovery_stats: Arc<RecoveryStats>,
     closed: AtomicBool,
     reaper: Mutex<Option<JoinHandle<()>>>,
+    // --- speculative persistence (store watermark gating) -------------
+    /// Asks the store whether a commit watermark is durable yet.
+    /// Installed by the embedder (Vinz) when its store defers
+    /// durability; absent means nothing is ever held.
+    durability_probe: RwLock<Option<Arc<dyn Fn(u64) -> bool + Send + Sync>>>,
+    /// Messages parked until the store's commit watermark passes their
+    /// `hold_until` gate. Dropped on shutdown — exactly what a crash
+    /// would do to effects whose save never became durable.
+    held: Mutex<Vec<Message>>,
+    held_total: AtomicU64,
+    held_released: AtomicU64,
 }
 
 impl Cluster {
@@ -205,6 +216,10 @@ impl Cluster {
             recovery_stats,
             closed: AtomicBool::new(false),
             reaper: Mutex::new(None),
+            durability_probe: RwLock::new(None),
+            held: Mutex::new(Vec::new()),
+            held_total: AtomicU64::new(0),
+            held_released: AtomicU64::new(0),
         });
         // Affinity delivery counters, summed across all service queues.
         let weak = Arc::downgrade(&cluster);
@@ -220,6 +235,24 @@ impl Cluster {
             "Affinity-stamped messages delivered elsewhere (steal or dead node).",
             "",
             move || weak.upgrade().map_or(0, |c| c.affinity_stats().1),
+        );
+        // Speculative-persistence gate visibility.
+        let weak = Arc::downgrade(&cluster);
+        cluster.obs.registry.counter_fn(
+            "gozer_messages_held_total",
+            "Outbound messages parked behind a not-yet-durable store watermark.",
+            "",
+            move || {
+                weak.upgrade()
+                    .map_or(0, |c| c.held_total.load(Ordering::Relaxed))
+            },
+        );
+        let weak = Arc::downgrade(&cluster);
+        cluster.obs.registry.gauge_fn(
+            "gozer_messages_held",
+            "Messages currently parked awaiting durability.",
+            "",
+            move || weak.upgrade().map_or(0, |c| c.held.lock().len() as i64),
         );
         // Backpressure introspection: total waiting messages across all
         // service queues, read by admission gates and the scale bench.
@@ -253,6 +286,38 @@ impl Cluster {
         f: impl Fn(&str) -> Option<u32> + Send + Sync + 'static,
     ) {
         *self.affinity_resolver.write() = Some(Arc::new(f));
+    }
+
+    /// Install the durability probe the speculative-send gate consults:
+    /// `f(watermark)` answers "has the store committed this watermark?".
+    /// Installed by the embedder (Vinz) alongside the store's commit
+    /// hook. Replaces any previous probe.
+    pub fn set_durability_probe(&self, f: impl Fn(u64) -> bool + Send + Sync + 'static) {
+        *self.durability_probe.write() = Some(Arc::new(f));
+    }
+
+    /// The store's commit watermark advanced to `watermark`: release
+    /// every held message whose gate it passes. Wired to the store's
+    /// commit hook by the embedder.
+    pub fn note_durable(&self, watermark: u64) {
+        let ready: Vec<Message> = {
+            let mut held = self.held.lock();
+            if held.is_empty() {
+                return;
+            }
+            let (ready, rest) = held.drain(..).partition(|m| m.hold_until <= watermark);
+            *held = rest;
+            ready
+        };
+        for msg in ready {
+            self.held_released.fetch_add(1, Ordering::Relaxed);
+            self.dispatch(msg);
+        }
+    }
+
+    /// Messages currently parked behind the speculative-send gate.
+    pub fn held_count(&self) -> usize {
+        self.held.lock().len()
     }
 
     /// Affinity delivery counters summed across queues, as
@@ -365,6 +430,13 @@ impl Cluster {
     }
 
     /// Fire-and-forget send.
+    ///
+    /// A message carrying a `hold_until` watermark gate is parked (not
+    /// queued) while the installed durability probe reports the
+    /// watermark as not yet committed; [`Cluster::note_durable`] — fired
+    /// by the store's commit hook — releases it. With no probe
+    /// installed the gate is vacuous: synchronous stores are durable by
+    /// the time the send happens.
     pub fn send(&self, mut msg: Message) {
         msg.id = self.next_msg_id.fetch_add(1, Ordering::Relaxed);
         msg.enqueued_at = Instant::now();
@@ -376,6 +448,22 @@ impl Cluster {
             },
             &msg,
         ));
+        if msg.hold_until > 0 {
+            let probe = self.durability_probe.read().clone();
+            if let Some(probe) = probe {
+                if !probe(msg.hold_until) {
+                    self.held_total.fetch_add(1, Ordering::Relaxed);
+                    self.held.lock().push(msg);
+                    return;
+                }
+            }
+        }
+        self.dispatch(msg);
+    }
+
+    /// The enqueue tail of [`Cluster::send`]: chaos faults, then the
+    /// service queue. Held messages re-enter here when released.
+    fn dispatch(&self, msg: Message) {
         let queue = self.queue(&msg.service);
         if let Some(plan) = self.chaos_plan() {
             if plan.on_send_duplicate(&msg) {
@@ -733,6 +821,25 @@ impl Cluster {
         for (_, m) in due_sends {
             self.send(m);
         }
+        // 4. Safety net for the speculative-send gate: re-probe held
+        //    messages directly, in case a commit-hook notification was
+        //    lost (e.g. the hook was installed after a flush completed).
+        let probe = self.durability_probe.read().clone();
+        if let Some(probe) = probe {
+            let ready: Vec<Message> = {
+                let mut held = self.held.lock();
+                if held.is_empty() {
+                    return;
+                }
+                let (ready, rest) = held.drain(..).partition(|m| probe(m.hold_until));
+                *held = rest;
+                ready
+            };
+            for msg in ready {
+                self.held_released.fetch_add(1, Ordering::Relaxed);
+                self.dispatch(msg);
+            }
+        }
     }
 
     /// Handler-path recovery for fire-and-forget operations: re-queue
@@ -803,6 +910,9 @@ impl Cluster {
     /// Stop all instances and close all queues.
     pub fn shutdown(&self) {
         self.closed.store(true, Ordering::Relaxed);
+        // Held messages never became durable-safe to deliver; dropping
+        // them here is the same outcome a crash would have produced.
+        self.held.lock().clear();
         // Join the reaper before taking the instances lock: its scan
         // takes that lock too.
         if let Some(t) = self.reaper.lock().take() {

@@ -57,6 +57,12 @@ pub struct Message {
     /// Number of times this delivery was re-queued after instance
     /// failure.
     pub redeliveries: u32,
+    /// Speculative-persistence gate: the store watermark that must be
+    /// durable before this message may be delivered (0 = no gate). Set
+    /// by senders whose causally-preceding save got a deferred
+    /// [`DurabilityTicket`]; the cluster parks the message until the
+    /// commit watermark passes it.
+    pub hold_until: u64,
 }
 
 impl Message {
@@ -75,12 +81,20 @@ impl Message {
             affinity: None,
             enqueued_at: Instant::now(),
             redeliveries: 0,
+            hold_until: 0,
         }
     }
 
     /// Builder: set the affinity placement hint.
     pub fn with_affinity(mut self, node: u32) -> Message {
         self.affinity = Some(node);
+        self
+    }
+
+    /// Builder: gate delivery on a store watermark (speculative
+    /// persistence — see the `hold_until` field).
+    pub fn with_hold_until(mut self, watermark: u64) -> Message {
+        self.hold_until = watermark;
         self
     }
 

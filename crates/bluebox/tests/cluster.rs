@@ -317,3 +317,75 @@ fn wsdl_registry_serves_descriptions() {
     assert_eq!(cluster.wsdl("Nope"), None);
     cluster.shutdown();
 }
+
+#[test]
+fn hold_until_parks_messages_until_watermark_commits() {
+    let cluster = Cluster::new();
+    let delivered = Arc::new(AtomicU64::new(0));
+    let seen = delivered.clone();
+    cluster.register_service(
+        "gated",
+        None,
+        Arc::new(move |_: &ServiceCtx, _: &Message| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![])
+        }),
+    );
+    cluster.spawn_instances("gated", 0, 1);
+
+    // Probe: only watermarks <= the advancing commit point are durable.
+    let committed = Arc::new(AtomicU64::new(0));
+    let probe_point = committed.clone();
+    cluster.set_durability_probe(move |w| probe_point.load(Ordering::SeqCst) >= w);
+
+    // Ungated messages flow immediately.
+    cluster.send(Message::new("gated", "Op", vec![]));
+    assert!(cluster.drain("gated", Duration::from_secs(2)));
+    assert_eq!(delivered.load(Ordering::SeqCst), 1);
+
+    // A gated message parks until note_durable passes its watermark.
+    cluster.send(Message::new("gated", "Op", vec![]).with_hold_until(7));
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(delivered.load(Ordering::SeqCst), 1, "must be held");
+    assert_eq!(cluster.held_count(), 1);
+
+    cluster.note_durable(3); // not far enough
+    assert_eq!(cluster.held_count(), 1);
+    committed.store(7, Ordering::SeqCst);
+    cluster.note_durable(7);
+    assert_eq!(cluster.held_count(), 0);
+    assert!(cluster.drain("gated", Duration::from_secs(2)));
+    assert_eq!(delivered.load(Ordering::SeqCst), 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn reaper_releases_held_messages_as_safety_net() {
+    let cluster = Cluster::new();
+    let delivered = Arc::new(AtomicU64::new(0));
+    let seen = delivered.clone();
+    cluster.register_service(
+        "gated2",
+        None,
+        Arc::new(move |_: &ServiceCtx, _: &Message| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![])
+        }),
+    );
+    cluster.spawn_instances("gated2", 0, 1);
+    let committed = Arc::new(AtomicU64::new(0));
+    let probe_point = committed.clone();
+    cluster.set_durability_probe(move |w| probe_point.load(Ordering::SeqCst) >= w);
+
+    cluster.send(Message::new("gated2", "Op", vec![]).with_hold_until(1));
+    assert_eq!(cluster.held_count(), 1);
+    // Advance the commit point but "lose" the hook notification: the
+    // reaper's periodic re-probe must still release the message.
+    committed.store(1, Ordering::SeqCst);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while delivered.load(Ordering::SeqCst) == 0 {
+        assert!(std::time::Instant::now() < deadline, "reaper never released");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cluster.shutdown();
+}

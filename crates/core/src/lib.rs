@@ -67,9 +67,11 @@ pub use gozer_obs::{
     ProfileReport, SerialCostSnapshot, Snapshot, TaskTimeline, TimelineSet,
 };
 pub use vinz::{
-    FileLocks, FileStore, InProcessLocks, LockManager, MemStore, RetryPolicy, StateStore,
-    SupervisorConfig, TaskRecord, TaskStatus, Trace, TraceEvent, TraceKind, VinzConfig, VinzError,
-    WorkflowObs, WorkflowService, WorkflowServiceBuilder, ZkLocks,
+    DurabilityTicket, FileLocks, FileStore, FileStoreBuilder, FsyncPolicy, InProcessLocks,
+    LockManager, LogStats, LogStore, LogStoreBuilder, MemStore, RetryPolicy, StateStore,
+    StoreError, SupervisorConfig, TaskRecord, TaskStatus, Trace, TraceEvent, TraceKind,
+    VinzConfig, VinzError, Watermark, WorkflowObs, WorkflowService, WorkflowServiceBuilder,
+    ZkLocks,
 };
 pub use zk_lite::ZkServer;
 

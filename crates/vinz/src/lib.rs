@@ -69,7 +69,10 @@ pub use service::{
     NodeRuntime, StartError, VinzConfig, VinzError, VinzMetrics, WorkflowObs, WorkflowService,
     WorkflowServiceBuilder,
 };
-pub use store::{FileStore, MemStore, StateStore, StoreError};
+pub use store::{
+    CommitHook, DurabilityTicket, FileStore, FileStoreBuilder, FsyncPolicy, LogStats, LogStore,
+    LogStoreBuilder, MemStore, StateStore, StoreError, Watermark,
+};
 pub use supervisor::{RetryPolicy, SupervisorConfig};
 pub use gozer_obs::{FlightDump, FlightRecorder, FnProfile, ProfileReport, SerialCostSnapshot};
 pub use trace::{Trace, TraceEvent, TraceKind};

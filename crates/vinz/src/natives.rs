@@ -134,7 +134,7 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
             state.ext.set("join-deadline-ms", jd.clone());
         }
         inner.tracker.fiber_created(&task_id);
-        inner
+        let ticket = inner
             .save_fiber(&rt, IN_FIBER, &child_id, state)
             .map_err(vz)?;
         inner.set_phase(&child_id, "initial").map_err(vz)?;
@@ -153,10 +153,13 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
             children.push(',');
         }
         children.push_str(&child_id);
-        inner
+        // Watermarks are monotonic, so this registry write's ticket also
+        // covers the child's snapshot above — gate the RunFiber on it.
+        let ticket = inner
             .store
-            .put(&children_key, children.as_bytes())
-            .map_err(|e| VmError::msg(e.to_string()))?;
+            .put_batch(&[(&children_key, children.as_bytes())])
+            .map_err(|e| VmError::msg(e.to_string()))?
+            .max(ticket);
         inner.trace.record(
             rt.node_id,
             IN_FIBER,
@@ -167,7 +170,7 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
         // Children inherit the task's deadline so deadline-aware queue
         // policies can order their RunFiber messages too.
         let deadline = inner.tracker.get(&task_id).and_then(|r| r.deadline);
-        inner.send_run_fiber(&child_id, deadline);
+        inner.send_run_fiber(&child_id, deadline, ticket);
         NativeOutcome::ok(Value::str(child_id))
     });
 
@@ -243,10 +246,6 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
         // Record the correlation before sending, so even an instant
         // reply finds the mapping.
         let correlation = inner.cluster.allocate_correlation();
-        inner
-            .store
-            .put(&format!("corr/{correlation}"), fiber_id.as_bytes())
-            .map_err(|e| VmError::msg(e.to_string()))?;
         inner.trace.record(
             node_id_of(ctx),
             IN_FIBER,
@@ -258,10 +257,14 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
         // onto the ResumeFromCall reply, so faults injected into either
         // leg correlate back to this fiber's timeline.
         let task_id = ext_str(ctx, "task-id", "call").unwrap_or_default();
-        // Durable call record: everything the retry machinery needs to
-        // re-send this exact request if the reply faults or never
-        // arrives. Written before the send so a crash between the two
-        // leaves a retryable record, not a lost call.
+        // Durable call state, written as ONE atomic batch before the
+        // send: the correlation → fiber mapping (so even an instant
+        // reply finds it) and the call record the retry machinery needs
+        // to re-send this exact request if the reply faults or never
+        // arrives. A crash between the batch and the send leaves a
+        // retryable record, not a lost call — and the request itself is
+        // gated on the batch's ticket so the service never sees a call
+        // whose correlation state could vanish in a crash.
         let call_req = crate::supervisor::CallReq {
             service: service.clone(),
             operation: operation.clone(),
@@ -271,15 +274,19 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
             attempts: 1,
             body: body.clone(),
         };
-        inner
+        let ticket = inner
             .store
-            .put(&format!("call-req/{correlation}"), &call_req.encode())
+            .put_batch(&[
+                (&format!("corr/{correlation}"), fiber_id.as_bytes()),
+                (&format!("call-req/{correlation}"), &call_req.encode()),
+            ])
             .map_err(|e| VmError::msg(e.to_string()))?;
         inner.cluster.send_with_service_reply_corr(
             Message::new(&service, &operation, body)
                 .header("soap-action", soap_action)
                 .header("task-id", task_id)
-                .header("fiber-id", fiber_id.as_str()),
+                .header("fiber-id", fiber_id.as_str())
+                .with_hold_until(ticket.0),
             &inner.name,
             "ResumeFromCall",
             correlation,
@@ -374,13 +381,11 @@ pub(crate) fn install_vinz(gvm: &Arc<Gvm>, inner: Weak<Inner>, node_id: u32) {
         let version = read_version(&inner, &vkey)? + 1;
         let bytes = serialize_value(&args[1], inner.config.codec)
             .map_err(|e| VmError::msg(e.to_string()))?;
+        // One atomic batch: the version key can never name data that a
+        // crash failed to persist.
         inner
             .store
-            .put(&dkey, &bytes)
-            .map_err(|e| VmError::msg(e.to_string()))?;
-        inner
-            .store
-            .put(&vkey, &version.to_le_bytes())
+            .put_batch(&[(&dkey, &bytes), (&vkey, &version.to_le_bytes())])
             .map_err(|e| VmError::msg(e.to_string()))?;
         taskvar_cache_put(ctx, &name, version, args[1].clone());
         NativeOutcome::ok(args[1].clone())

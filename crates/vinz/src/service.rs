@@ -31,7 +31,7 @@ use parking_lot::RwLock;
 
 use crate::cache::FiberCache;
 use crate::locks::{InProcessLocks, LockManager};
-use crate::store::{MemStore, StateStore};
+use crate::store::{DurabilityTicket, MemStore, StateStore, Watermark};
 use crate::supervisor::{self, RetryPolicy, SupervisorConfig};
 use crate::trace::{Trace, TraceKind};
 use crate::tracker::{TaskRecord, TaskStatus, TaskTracker};
@@ -370,6 +370,26 @@ impl WorkflowServiceBuilder {
             weak.upgrade()
                 .and_then(|i| i.hot.read().get(fiber_id).map(|h| h.node))
         });
+        // Speculative persistence (LogStore): saves return a ticket
+        // before they are durable, and fiber-bound messages carry that
+        // ticket in `hold_until`. The probe lets the broker ask "is this
+        // watermark committed yet?"; the commit hook releases held
+        // messages the moment the group-commit fsync lands. Synchronous
+        // stores answer "always durable", so both are no-ops for them.
+        inner.store.attach_obs(&inner.obs);
+        {
+            let store = inner.store.clone();
+            self.cluster
+                .set_durability_probe(move |w| store.durable(Watermark(w)));
+        }
+        {
+            let cluster = Arc::downgrade(&self.cluster);
+            inner.store.set_commit_hook(Arc::new(move |w: Watermark| {
+                if let Some(c) = cluster.upgrade() {
+                    c.note_durable(w.0);
+                }
+            }));
+        }
         let handler = WorkflowHandler {
             inner: Arc::downgrade(&inner),
         };
@@ -1010,20 +1030,15 @@ impl Inner {
             .unwrap_or((0, 0, 0)))
     }
 
-    fn put_fiber_meta(
-        &self,
-        fiber_id: &str,
-        version: u64,
-        generation: u64,
-        chain: u64,
-    ) -> Result<(), VinzError> {
+    /// Encode the 24-byte meta record; saved atomically *with* the data
+    /// key it names via [`StateStore::put_batch`], so no crash can
+    /// publish a meta record pointing at an unwritten snapshot.
+    fn fiber_meta_rec(version: u64, generation: u64, chain: u64) -> [u8; 24] {
         let mut rec = [0u8; 24];
         rec[0..8].copy_from_slice(&version.to_le_bytes());
         rec[8..16].copy_from_slice(&generation.to_le_bytes());
         rec[16..24].copy_from_slice(&chain.to_le_bytes());
-        self.store
-            .put(&format!("fiber-v/{fiber_id}"), &rec)
-            .map_err(|e| VinzError(e.to_string()))
+        rec
     }
 
     /// Store key of a fiber's full-snapshot base. Generation 0 keeps the
@@ -1069,18 +1084,24 @@ impl Inner {
     /// whenever a delta would be unsound (no clean prefix, mutable
     /// object reachable from a clean frame).
     ///
-    /// Crash ordering: a delta save writes its data key *before* the
-    /// meta record, so a crash in between leaves an orphan delta the
-    /// redelivered save overwrites; a compaction writes the new base
-    /// under a fresh generation key before the meta commits to it, so a
-    /// crash in between leaves the old base + chain fully intact.
+    /// Crash atomicity: the data key and the meta record that names it
+    /// are written as one [`StateStore::put_batch`], so recovery sees
+    /// either both or neither; a compaction additionally writes the new
+    /// base under a fresh generation key, so even the "neither" outcome
+    /// leaves the old base + chain fully intact.
+    ///
+    /// Returns the save's [`DurabilityTicket`]. Callers that send a
+    /// message *because* this save happened (RunFiber for a fresh
+    /// child, AwakeFiber/JoinProcess on completion) must stamp it via
+    /// [`Message::with_hold_until`] so the broker holds the message
+    /// until the save's group commit lands (speculative persistence).
     pub(crate) fn save_fiber(
         self: &Arc<Inner>,
         rt: &NodeRuntime,
         instance: u64,
         fiber_id: &str,
         mut state: FiberState,
-    ) -> Result<(), VinzError> {
+    ) -> Result<DurabilityTicket, VinzError> {
         let (version, generation, chain) = self.fiber_meta(fiber_id)?;
         let hot = self.hot.read().get(fiber_id).copied();
         let size_hint = hot.map_or(256, |h| h.last_size.max(64));
@@ -1100,18 +1121,23 @@ impl Inner {
                     .record_serialize(bytes.len() as u64, start.elapsed().as_nanos() as u64);
             }
         }
+        let meta_key = format!("fiber-v/{fiber_id}");
         let mut full_len = None;
-        let saved_len = match delta {
+        let (saved_len, ticket) = match delta {
             Some(bytes) => {
-                self.store
-                    .put(&Inner::delta_key(fiber_id, chain), &bytes)
+                let meta = Inner::fiber_meta_rec(version + 1, generation, chain + 1);
+                let ticket = self
+                    .store
+                    .put_batch(&[
+                        (&Inner::delta_key(fiber_id, chain), &bytes),
+                        (&meta_key, &meta),
+                    ])
                     .map_err(|e| VinzError(e.to_string()))?;
-                self.put_fiber_meta(fiber_id, version + 1, generation, chain + 1)?;
                 self.metrics.delta_saves.fetch_add(1, Ordering::Relaxed);
                 self.metrics
                     .delta_bytes
                     .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                bytes.len()
+                (bytes.len(), ticket)
             }
             None => {
                 let start = Instant::now();
@@ -1120,10 +1146,14 @@ impl Inner {
                 self.serial_costs
                     .record_serialize(bytes.len() as u64, start.elapsed().as_nanos() as u64);
                 let new_gen = if chain > 0 { generation + 1 } else { generation };
-                self.store
-                    .put(&Inner::base_key(fiber_id, new_gen), &bytes)
+                let meta = Inner::fiber_meta_rec(version + 1, new_gen, 0);
+                let ticket = self
+                    .store
+                    .put_batch(&[
+                        (&Inner::base_key(fiber_id, new_gen), &bytes),
+                        (&meta_key, &meta),
+                    ])
                     .map_err(|e| VinzError(e.to_string()))?;
-                self.put_fiber_meta(fiber_id, version + 1, new_gen, 0)?;
                 // Garbage, not state: the old base and its deltas are
                 // unreachable once the meta names the new generation.
                 if new_gen != generation {
@@ -1136,7 +1166,7 @@ impl Inner {
                     .full_bytes
                     .fetch_add(bytes.len() as u64, Ordering::Relaxed);
                 full_len = Some(bytes.len());
-                bytes.len()
+                (bytes.len(), ticket)
             }
         };
         // Delta saves keep the last *full* snapshot size as the buffer
@@ -1163,7 +1193,7 @@ impl Inner {
             fiber_id,
             TraceKind::Persist(saved_len),
         );
-        Ok(())
+        Ok(ticket)
     }
 
     /// Load a fiber continuation, trying the node cache first (§4.2); a
@@ -1305,17 +1335,29 @@ impl Inner {
             .map_err(|e| VinzError(e.to_string()))?;
         rt.cache.put_immutable(&def_key, def_bytes);
 
-        self.save_fiber(&rt, ctx.instance_id, &fiber_id, state)?;
+        let ticket = self.save_fiber(&rt, ctx.instance_id, &fiber_id, state)?;
         self.set_phase(&fiber_id, "initial")?;
         self.trace
             .record(ctx.node_id, ctx.instance_id, &task_id, &fiber_id, TraceKind::Start);
-        self.send_run_fiber(&fiber_id, deadline);
+        self.send_run_fiber(&fiber_id, deadline, ticket);
         Ok(task_id.into_bytes())
     }
 
-    pub(crate) fn send_run_fiber(&self, fiber_id: &str, deadline: Option<Instant>) {
+    /// Send the RunFiber message that begins (or re-begins) a fiber.
+    /// `ticket` is the durability ticket of the save that made the fiber
+    /// runnable: the broker holds the message until that save commits,
+    /// so a RunFiber can never outrun the continuation it resumes.
+    /// Callers resuming an already-durable fiber pass
+    /// [`Watermark::IMMEDIATE`].
+    pub(crate) fn send_run_fiber(
+        &self,
+        fiber_id: &str,
+        deadline: Option<Instant>,
+        ticket: DurabilityTicket,
+    ) {
         let mut msg = Message::new(&self.name, "RunFiber", Vec::new())
-            .header("fiber-id", fiber_id);
+            .header("fiber-id", fiber_id)
+            .with_hold_until(ticket.0);
         if let Some(d) = deadline {
             msg = msg.with_deadline(d);
         }
@@ -1734,7 +1776,7 @@ impl Inner {
                         .and_then(|m| m.get(&Value::keyword("target")).cloned())
                         .and_then(|v| v.as_str().map(str::to_owned))
                         .ok_or_else(|| VinzError("join suspension without target".into()))?;
-                    self.save_fiber(rt, ctx.instance_id, fiber_id, susp.state)?;
+                    let ticket = self.save_fiber(rt, ctx.instance_id, fiber_id, susp.state)?;
                     // Breadcrumb for the supervisor's orphan scan: what
                     // this fiber is waiting on. Written before the phase
                     // flips to "suspended" so a scan never sees a
@@ -1747,7 +1789,7 @@ impl Inner {
                         .map_err(|e| VinzError(e.to_string()))?;
                     self.set_phase(fiber_id, "suspended")?;
                     self.metrics.suspended_fibers.fetch_add(1, Ordering::Relaxed);
-                    self.register_join_waiter(&target, fiber_id)?;
+                    self.register_join_waiter(&target, fiber_id, ticket)?;
                 } else {
                     self.save_fiber(rt, ctx.instance_id, fiber_id, susp.state)?;
                     self.store
@@ -1810,12 +1852,16 @@ impl Inner {
         notify_parent: bool,
     ) -> Result<(), VinzError> {
         // Results are write-once: prime the store and the local immutable
-        // cache.
+        // cache. Batched so the save hands back a durability ticket: the
+        // AwakeFiber/JoinProcess messages below announce "this result
+        // exists" to other fibers, so they must not leave the broker
+        // before the result is actually on disk.
         let bytes = serialize_value(&value, self.config.codec)
             .map_err(|e| VinzError(format!("result of {fiber_id}: {e}")))?;
         let key = format!("result/{fiber_id}");
-        self.store
-            .put(&key, &bytes)
+        let ticket = self
+            .store
+            .put_batch(&[(&key, &bytes)])
             .map_err(|e| VinzError(e.to_string()))?;
         rt.cache.put_immutable(&key, bytes);
         rt.cache.evict_fiber(fiber_id);
@@ -1837,20 +1883,22 @@ impl Inner {
                     fiber_id,
                     TraceKind::AwakeSent(parent_id.clone()),
                 );
-                // AwakeFiber messages are low priority (§5).
+                // AwakeFiber messages are low priority (§5), and gated
+                // on the result's durability ticket.
                 self.cluster.send(
                     self.stamp_affinity(
                         Message::new(&self.name, "AwakeFiber", Vec::new())
                             .header("fiber-id", parent_id.as_str())
                             .header("from-child", fiber_id)
-                            .with_priority(-1),
+                            .with_priority(-1)
+                            .with_hold_until(ticket.0),
                         parent_id,
                     ),
                 );
             }
         }
         // Wake any join-process waiters.
-        self.notify_join_waiters(fiber_id)?;
+        self.notify_join_waiters(fiber_id, ticket)?;
         if is_root {
             // Record the trace event *before* finishing the task: the
             // finish notification wakes waiting clients, who may read the
@@ -1876,6 +1924,7 @@ impl Inner {
         self: &Arc<Inner>,
         target: &str,
         waiter: &str,
+        ticket: DurabilityTicket,
     ) -> Result<(), VinzError> {
         let key = format!("waiters/{target}");
         {
@@ -1904,12 +1953,23 @@ impl Inner {
             .map_err(|e| VinzError(e.to_string()))?
             .is_some();
         if done {
-            self.notify_join_waiters(target)?;
+            // The target finished before (or while) we registered: wake
+            // ourselves, gated on our *own* suspension save so the
+            // resume cannot outrun the continuation it restores.
+            self.notify_join_waiters(target, ticket)?;
         }
         Ok(())
     }
 
-    fn notify_join_waiters(self: &Arc<Inner>, target: &str) -> Result<(), VinzError> {
+    /// Send JoinProcess to everyone waiting on `target`, each gated on
+    /// `ticket` (the durability ticket of whichever save made the wake
+    /// legitimate — the target's result, or the waiter's own suspension
+    /// save in the registration race).
+    fn notify_join_waiters(
+        self: &Arc<Inner>,
+        target: &str,
+        ticket: DurabilityTicket,
+    ) -> Result<(), VinzError> {
         let key = format!("waiters/{target}");
         let waiters = {
             let _guard = self
@@ -1930,7 +1990,8 @@ impl Inner {
                 self.stamp_affinity(
                     Message::new(&self.name, "JoinProcess", Vec::new())
                         .header("fiber-id", waiter)
-                        .header("target", target),
+                        .header("target", target)
+                        .with_hold_until(ticket.0),
                     waiter,
                 ),
             );

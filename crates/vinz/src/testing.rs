@@ -177,17 +177,39 @@ pub fn run_workflow_under_chaos_vinz(
     vinz: VinzConfig,
     flight_base: Option<PathBuf>,
 ) -> Result<ChaosRun, String> {
+    run_workflow_under_chaos_store(source, function, args, config, vinz, None, flight_base)
+}
+
+/// [`run_workflow_under_chaos_vinz`] with an explicit [`StateStore`]
+/// (`None` = the default in-memory store), so sweeps can pit
+/// persistence backends against each other — e.g. assert a
+/// [`crate::LogStore`] deployment completes with the same value and
+/// opcode counts as a [`crate::MemStore`] one under the same fault
+/// schedule.
+pub fn run_workflow_under_chaos_store(
+    source: &str,
+    function: &str,
+    args: Vec<Value>,
+    config: ChaosConfig,
+    vinz: VinzConfig,
+    store: Option<Arc<dyn crate::StateStore>>,
+    flight_base: Option<PathBuf>,
+) -> Result<ChaosRun, String> {
     const SERVICE: &str = "workflow";
     let seed = config.seed;
     let cluster = Cluster::new();
     let plan = ChaosPlan::new(config);
     cluster.set_chaos(plan.clone());
-    let workflow = WorkflowService::builder(&cluster, SERVICE)
+    let mut builder = WorkflowService::builder(&cluster, SERVICE)
         .source(source)
         .config(vinz)
         .instances(0, 2)
         .instances(1, 2)
-        .profiling(true)
+        .profiling(true);
+    if let Some(store) = store {
+        builder = builder.store(store);
+    }
+    let workflow = builder
         .deploy()
         .map_err(|e| format!("seed {seed}: deploy failed: {e}"))?;
     // Record the full event stream so a failing seed can print the

@@ -71,4 +71,9 @@ run make fuzz-smoke
 
 run make scale-smoke
 
+# Store smoke: the production-day bench (cluster slice + the
+# FileStore-vs-LogStore saves/sec replay) with its JSON shape check and
+# the fsync-amortization assertion.
+run make store-smoke
+
 echo "ci: OK (chaos sweep width $CHAOS_SEEDS)"

@@ -99,7 +99,7 @@ fn file_backed_store_and_locks_full_run() {
     let sys = GozerSystem::builder()
         .nodes(2)
         .instances_per_node(2)
-        .store(Arc::new(FileStore::new(dir.join("state")).unwrap()))
+        .store(Arc::new(FileStore::builder(dir.join("state")).build().unwrap()))
         .locks(Arc::new(FileLocks::new(dir.join("locks")).unwrap()))
         .workflow(WORKFLOW)
         .build()
