@@ -451,9 +451,16 @@ impl Cluster {
         if msg.hold_until > 0 {
             let probe = self.durability_probe.read().clone();
             if let Some(probe) = probe {
+                // Probe and park under the held-list lock: note_durable
+                // drains that list under the same lock *after* the
+                // store's watermark advances, so a commit can't slip
+                // between a failed probe and the push — a message that
+                // parks is guaranteed a later note_durable (or the
+                // reaper's re-probe) will see it.
+                let mut held = self.held.lock();
                 if !probe(msg.hold_until) {
                     self.held_total.fetch_add(1, Ordering::Relaxed);
-                    self.held.lock().push(msg);
+                    held.push(msg);
                     return;
                 }
             }

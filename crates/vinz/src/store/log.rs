@@ -23,7 +23,11 @@
 //! (torn-tail truncation drops the record wholesale). A batch lands in
 //! the partition chosen by its first key; replay applies records across
 //! partitions in global `seq` order, so per-key ordering never depends
-//! on which partition a batch happened to land in.
+//! on which partition a batch happened to land in. Because a crash can
+//! persist a higher-seq batch while losing a lower-seq one (fsyncs land
+//! partition by partition), recovery keeps only the longest contiguous
+//! seq run past the checkpoint and scrubs the rolled-back suffix from
+//! disk — the durable state is always a prefix of history.
 //!
 //! The group-commit writer thread drains the enqueue buffer, appends
 //! all pending batches, issues **one fsync per touched partition** for
@@ -363,8 +367,15 @@ impl LogStore {
         if let Some(err) = self.inner.failed.lock().clone() {
             return Err(err);
         }
-        let seq = self.inner.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        // Seq allocation happens under the pending lock so queue order
+        // is seq order and no seq can exist outside the queue. If it
+        // were allocated first, a preempted enqueuer could let a
+        // later-seq batch commit ahead of it: the watermark would then
+        // cover this batch's seq — releasing messages gated on it —
+        // while its bytes were still only in this thread's stack, and a
+        // stale-seq overlay insert could clobber a newer value.
         let mut p = self.inner.pending.lock();
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
         for op in &ops {
             p.overlay.insert(
                 op.key.clone(),
@@ -997,6 +1008,17 @@ struct Recovered {
     max_seg: Vec<u64>,
 }
 
+/// One framed batch record surfaced by replay (only records above the
+/// checkpoint sequence are collected).
+struct ReplayRec {
+    seq: u64,
+    pid: u32,
+    seg: u64,
+    /// Byte offset of the record's frame header within its segment.
+    off: u64,
+    ops: Vec<(String, Option<Loc>)>,
+}
+
 struct Checkpoint {
     seq: u64,
     replay_from: Vec<u64>,
@@ -1010,14 +1032,14 @@ fn recover(cfg: &LogStoreBuilder) -> Result<Recovered, StoreError> {
         None => (0, vec![0; cfg.partitions as usize], HashMap::new()),
     };
 
-    // Ops with seq > ckpt_seq, gathered across every partition, applied
-    // in global seq order: per-key ordering is independent of which
-    // partition a batch landed in. Ops at or below ckpt_seq are already
-    // reflected in the checkpoint index (compaction rewrites keep their
-    // original seq and are indexed before the checkpoint publishes).
-    let mut ops: Vec<(u64, String, Option<Loc>)> = Vec::new();
+    // Records with seq > ckpt_seq, gathered across every partition and
+    // applied in global seq order: per-key ordering is independent of
+    // which partition a batch landed in. Records at or below ckpt_seq
+    // are already reflected in the checkpoint index (compaction
+    // rewrites keep their original seq and are indexed before the
+    // checkpoint publishes).
+    let mut recs: Vec<ReplayRec> = Vec::new();
     let mut max_seg = vec![0u64; cfg.partitions as usize];
-    let mut max_seq = ckpt_seq;
 
     for pid in 0..cfg.partitions {
         let dir = cfg.dir.join(format!("p{pid}"));
@@ -1028,26 +1050,83 @@ fn recover(cfg: &LogStoreBuilder) -> Result<Recovered, StoreError> {
             if seg < replay_from[pid as usize] {
                 continue;
             }
-            scan_segment(cfg, pid, seg, seg == tail, ckpt_seq, &mut ops)?;
+            scan_segment(cfg, pid, seg, seg == tail, ckpt_seq, &mut recs)?;
         }
     }
 
-    ops.sort_by(|a, b| a.0.cmp(&b.0));
-    for (seq, key, loc) in ops {
-        max_seq = max_seq.max(seq);
-        match loc {
-            Some(l) => {
-                index.insert(key, l);
+    // The commit point is the end of the longest *contiguous* seq run
+    // above the checkpoint. Group commit fsyncs partitions one at a
+    // time — and a power cut doesn't respect append order inside a
+    // partition's page cache either — so a higher-seq batch can be on
+    // disk while a lower-seq one is lost. Any surviving record past
+    // such a gap may embed state read speculatively from the missing
+    // batch (cross-fiber overlay reads are not gated), so the whole
+    // suffix rolls back: recovery yields a prefix of history, never a
+    // sieve.
+    recs.sort_by_key(|r| r.seq);
+    let mut commit_point = ckpt_seq;
+    for r in &recs {
+        if r.seq <= commit_point {
+            continue;
+        }
+        if Some(r.seq) == commit_point.checked_add(1) {
+            commit_point = r.seq;
+        } else {
+            break;
+        }
+    }
+
+    // Physically drop the rolled-back suffix. Leaving it on disk would
+    // let fresh writes reuse its seqs (next_seq restarts at the commit
+    // point), and the next recovery would then stitch the zombie
+    // records back into a "contiguous" history. Within a partition,
+    // append order is seq order, so the doomed records form a suffix:
+    // truncate the first doomed record's segment at its frame and
+    // remove any later segments.
+    let mut cut: Vec<Option<(u64, u64)>> = vec![None; cfg.partitions as usize];
+    for r in &recs {
+        if r.seq <= commit_point {
+            continue;
+        }
+        let c = &mut cut[r.pid as usize];
+        if c.map_or(true, |cur| (r.seg, r.off) < cur) {
+            *c = Some((r.seg, r.off));
+        }
+    }
+    for (pid, c) in cut.iter().enumerate() {
+        let Some((seg, off)) = *c else { continue };
+        let f = OpenOptions::new()
+            .write(true)
+            .open(seg_path(&cfg.dir, pid as u32, seg))
+            .map_err(StoreError::io)?;
+        f.set_len(off).map_err(StoreError::io)?;
+        f.sync_all().map_err(StoreError::io)?;
+        for later in list_segments(&cfg.dir.join(format!("p{pid}")))? {
+            if later > seg {
+                fs::remove_file(seg_path(&cfg.dir, pid as u32, later)).map_err(StoreError::io)?;
             }
-            None => {
-                index.remove(&key);
+        }
+    }
+
+    for rec in recs {
+        if rec.seq > commit_point {
+            continue;
+        }
+        for (key, loc) in rec.ops {
+            match loc {
+                Some(l) => {
+                    index.insert(key, l);
+                }
+                None => {
+                    index.remove(&key);
+                }
             }
         }
     }
 
     Ok(Recovered {
         index,
-        next_seq: max_seq,
+        next_seq: commit_point,
         max_seg,
     })
 }
@@ -1084,7 +1163,7 @@ fn scan_segment(
     seg: u64,
     is_tail: bool,
     ckpt_seq: u64,
-    out: &mut Vec<(u64, String, Option<Loc>)>,
+    out: &mut Vec<ReplayRec>,
 ) -> Result<(), StoreError> {
     let path = seg_path(&cfg.dir, pid, seg);
     let data = fs::read(&path).map_err(StoreError::io)?;
@@ -1101,9 +1180,16 @@ fn scan_segment(
     };
 
     if data.len() < SEG_MAGIC.len() || &data[..SEG_MAGIC.len()] != SEG_MAGIC {
-        if is_tail {
-            // A crash can leave a created-but-unwritten tail segment.
-            truncate_to(0)?;
+        // `create_segment` doesn't fsync the magic, so a power cut can
+        // leave the tail zero-length or with a half-written header.
+        // Remove such a file rather than emptying it in place: once the
+        // next incarnation creates a higher-numbered segment, a leftover
+        // magicless file is no longer the tail and would fail every
+        // later recovery as "corrupt". Zero-length segments are the same
+        // accident regardless of position (including ones emptied by
+        // older releases), so they are cleared wherever they sit.
+        if is_tail || data.is_empty() {
+            fs::remove_file(&path).map_err(StoreError::io)?;
             return Ok(());
         }
         return Err(StoreError::corrupt(
@@ -1114,9 +1200,12 @@ fn scan_segment(
 
     let mut off = SEG_MAGIC.len();
     while off < data.len() {
-        let parsed = parse_record(&data, off, pid, seg, ckpt_seq, out);
+        let parsed = parse_record(&data, off, pid, seg, ckpt_seq);
         match parsed {
-            Ok(next) => off = next,
+            Ok((rec, next)) => {
+                out.extend(rec);
+                off = next;
+            }
             Err(RecordDamage::Torn) if is_tail => {
                 // The canonical torn tail: the machine died mid-append.
                 // Everything before this offset is intact; drop the rest.
@@ -1151,16 +1240,15 @@ enum RecordDamage {
     Malformed(String),
 }
 
-/// Parse the record at `off`; push its ops (with value locations) and
-/// return the offset of the next record.
+/// Parse the record at `off`; return it (with value locations) when its
+/// seq is above the checkpoint, plus the offset of the next record.
 fn parse_record(
     data: &[u8],
     off: usize,
     pid: u32,
     seg: u64,
     ckpt_seq: u64,
-    out: &mut Vec<(u64, String, Option<Loc>)>,
-) -> Result<usize, RecordDamage> {
+) -> Result<(Option<ReplayRec>, usize), RecordDamage> {
     let header = data.get(off..off + 8).ok_or(RecordDamage::Torn)?;
     let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
     let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
@@ -1185,6 +1273,7 @@ fn parse_record(
             .try_into()
             .unwrap(),
     );
+    let mut ops: Vec<(String, Option<Loc>)> = Vec::new();
     let mut cursor = 12usize;
     for _ in 0..count {
         let op = *payload
@@ -1221,24 +1310,19 @@ fn parse_record(
         cursor += vlen;
         match op {
             OP_PUT => {
-                if seq > ckpt_seq {
-                    out.push((
+                ops.push((
+                    key,
+                    Some(Loc {
                         seq,
-                        key,
-                        Some(Loc {
-                            seq,
-                            part: pid,
-                            seg,
-                            off: val_off,
-                            len: vlen as u32,
-                        }),
-                    ));
-                }
+                        part: pid,
+                        seg,
+                        off: val_off,
+                        len: vlen as u32,
+                    }),
+                ));
             }
             OP_DELETE => {
-                if seq > ckpt_seq {
-                    out.push((seq, key, None));
-                }
+                ops.push((key, None));
             }
             other => {
                 return Err(RecordDamage::Malformed(format!("unknown op byte {other}")));
@@ -1248,7 +1332,14 @@ fn parse_record(
     if cursor != payload.len() {
         return Err(RecordDamage::Malformed("trailing bytes after ops".into()));
     }
-    Ok(off + 8 + len)
+    let rec = (seq > ckpt_seq).then(|| ReplayRec {
+        seq,
+        pid,
+        seg,
+        off: off as u64,
+        ops,
+    });
+    Ok((rec, off + 8 + len))
 }
 
 fn load_checkpoint(dir: &Path, nparts: u32) -> Result<Option<Checkpoint>, StoreError> {
@@ -1561,6 +1652,42 @@ mod tests {
         assert_eq!(store.get("victim").unwrap(), None, "deleted key resurrected");
         assert_eq!(store.get("churn").unwrap(), Some(b"round-59".to_vec()));
         drop(store);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_segment_create_survives_repeated_reopens() {
+        // A power cut during create_segment leaves a tail file with a
+        // missing or half-written magic. Recovery must remove it — a
+        // file merely truncated to zero stops being the tail on the
+        // next open (a fresh, higher-numbered segment appears) and
+        // would then fail every later recovery as interior corruption.
+        let dir = tmp_dir("badmagic");
+        {
+            let store = LogStore::builder(&dir)
+                .group_commit_window(Duration::ZERO)
+                .partitions(1)
+                .build()
+                .unwrap();
+            store.put("k/1", b"keep").unwrap();
+            store.flush().unwrap();
+        }
+        let seg_dir = dir.join("p0");
+        let next = list_segments(&seg_dir).unwrap().last().unwrap() + 1;
+        // Legacy shape: a zero-length non-tail segment left by an older
+        // release's truncate-in-place recovery.
+        fs::write(seg_path(&dir, 0, next), b"").unwrap();
+        // And the torn create itself: a half-written magic at the tail.
+        fs::write(seg_path(&dir, 0, next + 1), b"GZL").unwrap();
+        for reopen in 0..2 {
+            let store = LogStore::builder(&dir).partitions(1).build().unwrap();
+            assert_eq!(
+                store.get("k/1").unwrap(),
+                Some(b"keep".to_vec()),
+                "data lost on reopen {reopen}"
+            );
+            drop(store);
+        }
         let _ = fs::remove_dir_all(dir);
     }
 
