@@ -4,7 +4,7 @@
 CARGO ?= cargo
 CHAOS_SEEDS ?= 16
 
-.PHONY: build test test-all test-chaos recovery-check obs-check profile-check fuzz-smoke scale-smoke store-smoke bench ci
+.PHONY: build test test-all test-chaos recovery-check obs-check profile-check introspect-check fuzz-smoke scale-smoke store-smoke bench ci
 
 build:
 	$(CARGO) build --release
@@ -41,6 +41,13 @@ obs-check:
 profile-check:
 	sh scripts/profile_check.sh
 
+# Introspection gate: boot a deployment with the live HTTP endpoint on
+# an ephemeral port, scrape /metrics, /healthz, /tasks, and
+# /timeline/<task> over plain TCP, and shape-check every payload
+# (including /metrics byte-identity with the in-process exporter).
+introspect-check:
+	sh scripts/introspect_check.sh
+
 # Bounded-iteration run of every fuzz target (reader, compiler, serial
 # state, serial delta). FUZZ_ITERS to widen, FUZZ_SEED=<n> to replay a
 # finding (each target prints the per-case seed on failure with
@@ -49,10 +56,11 @@ FUZZ_ITERS ?= 5000
 fuzz-smoke:
 	FUZZ_ITERS=$(FUZZ_ITERS) sh scripts/fuzz_smoke.sh
 
-# Downscaled run of the 1M-fiber scale bench with a shape check on the
-# JSON report. The full-scale run that produces the committed
-# BENCH_scale.json baseline is `cargo run --release -p gozer-bench
-# --bin scale -- --json BENCH_scale.json` (takes minutes).
+# Downscaled run of the 1M-fiber scale bench with shape checks on both
+# JSON reports. The full-scale run that produces the committed
+# BENCH_scale.json + BENCH_latency.json baselines is `cargo run
+# --release -p gozer-bench --bin scale -- --json BENCH_scale.json
+# --latency-json BENCH_latency.json` (takes minutes).
 scale-smoke:
 	sh scripts/scale_smoke.sh
 

@@ -18,15 +18,27 @@
 //!      shows `try_start` shedding as `StartError::Rejected` with the
 //!      counters to match.
 //!
+//! The churn window doubles as the latency-attribution measurement: the
+//! same snapshot diff that yields p50/p95/p99 start→complete latency
+//! also yields the per-phase `gozer_task_phase_seconds` histograms, so
+//! the bench reports *where* the churn p99 goes (queue wait vs VM
+//! execution vs serialization) with a parked million-fiber population
+//! as background load — and asserts the phase sums reconcile with the
+//! latency sum (the tracker's telescoping invariant, observed through
+//! the metrics pipeline rather than the per-task ledgers).
+//!
 //! `BENCH_SMOKE=1` shrinks the population so CI finishes in seconds;
-//! `--json <path>` writes the committed `BENCH_scale.json` report.
+//! `--json <path>` writes the committed `BENCH_scale.json` report and
+//! `--latency-json <path>` the committed `BENCH_latency.json` phase
+//! breakdown.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bluebox::{Cluster, Message};
-use gozer_bench::{json_path_from_args, smoke_mode, Json, Table};
+use gozer::Phase;
+use gozer_bench::{json_path_from_args, path_from_args, smoke_mode, Json, Table};
 use gozer_compress::Codec;
 use gozer_lang::Value;
 use gozer_serial::serialize_value;
@@ -252,6 +264,33 @@ fn main() {
         suspended_during_churn
     );
 
+    // Latency attribution: the same churn-window diff, decomposed by
+    // phase. One snapshot per phase label; absent families simply never
+    // recorded a sample during the window.
+    let phase_stats: Vec<_> = Phase::ALL
+        .iter()
+        .map(|&phase| {
+            let key =
+                format!("gozer_task_phase_seconds{{phase=\"{}\",service=\"scale\"}}", phase);
+            (phase, delta.histogram(&key))
+        })
+        .collect();
+    // Reconcile: per-task ledgers telescope exactly, so the phase sums
+    // (admission is histogram-only, outside the per-task window) must
+    // equal the latency sum over the same diff, to 1ns/task rounding.
+    let phase_nanos: u64 = phase_stats
+        .iter()
+        .filter(|(p, _)| *p != Phase::Admission)
+        .filter_map(|(_, h)| h.as_ref().map(|h| h.sum_nanos))
+        .sum();
+    assert!(
+        hist.sum_nanos.abs_diff(phase_nanos) <= p.churn,
+        "phase sums must reconcile with the latency sum over the churn window \
+         (latency {} ns vs phases {} ns)",
+        hist.sum_nanos,
+        phase_nanos
+    );
+
     // Phase 3: drain a sample.
     let (drained, drain_elapsed) = drain_phase(&cluster, &wf, p.drain_sample);
     assert_eq!(drained, p.drain_sample, "every sampled fiber resumed to completion");
@@ -287,6 +326,30 @@ fn main() {
     table.row(&["drained sample".into(), format!("{drained}/{}", p.drain_sample)]);
     table.row(&["admission rejected".into(), rejected.to_string()]);
     table.print();
+
+    let mut attribution = Table::new(
+        "Churn latency attribution (phase breakdown under 1M parked fibers)",
+        &["phase", "count", "p99 (ms)", "total (s)", "share"],
+    );
+    for (phase, stat) in &phase_stats {
+        let (count, p99, total, share) = match stat {
+            Some(h) => (
+                h.count,
+                ms(h.p99()),
+                h.sum_nanos as f64 / 1e9,
+                if hist.sum_nanos > 0 { h.sum_nanos as f64 / hist.sum_nanos as f64 } else { 0.0 },
+            ),
+            None => (0, f64::NAN, 0.0, 0.0),
+        };
+        attribution.row(&[
+            phase.as_str().into(),
+            count.to_string(),
+            format!("{p99:.3}"),
+            format!("{total:.3}"),
+            format!("{:.1}%", share * 100.0),
+        ]);
+    }
+    attribution.print();
 
     if let Some(path) = json_path_from_args() {
         Json::obj()
@@ -334,6 +397,65 @@ fn main() {
             )
             .write(&path)
             .expect("write json report");
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(path) = path_from_args("--latency-json") {
+        let phases: Vec<Json> = phase_stats
+            .iter()
+            .map(|(phase, stat)| {
+                let base = Json::obj().field("phase", phase.as_str());
+                match stat {
+                    Some(h) => base
+                        .field("count", h.count)
+                        .field("p50_ms", ms(h.p50()))
+                        .field("p95_ms", ms(h.p95()))
+                        .field("p99_ms", ms(h.p99()))
+                        .field("total_seconds", h.sum_nanos as f64 / 1e9)
+                        .field(
+                            "share",
+                            if hist.sum_nanos > 0 {
+                                h.sum_nanos as f64 / hist.sum_nanos as f64
+                            } else {
+                                0.0
+                            },
+                        ),
+                    None => base
+                        .field("count", 0u64)
+                        .field("p50_ms", f64::NAN)
+                        .field("p95_ms", f64::NAN)
+                        .field("p99_ms", f64::NAN)
+                        .field("total_seconds", 0.0)
+                        .field("share", 0.0),
+                }
+            })
+            .collect();
+        Json::obj()
+            .field("bench", "latency_attribution")
+            .field("mode", if smoke { "smoke" } else { "full" })
+            .field(
+                "churn",
+                Json::obj()
+                    .field("tasks", p.churn)
+                    .field("workers", p.churn_workers)
+                    .field("starts_per_min", starts_per_min)
+                    .field("suspended_fibers_during_churn", suspended_during_churn),
+            )
+            .field(
+                "latency_ms",
+                Json::obj()
+                    .field("p50", ms(hist.p50()))
+                    .field("p95", ms(hist.p95()))
+                    .field("p99", ms(hist.p99()))
+                    .field("mean", ms(hist.mean())),
+            )
+            .field(
+                "phase_coverage",
+                if hist.sum_nanos > 0 { phase_nanos as f64 / hist.sum_nanos as f64 } else { 0.0 },
+            )
+            .field("phases", phases)
+            .write(&path)
+            .expect("write latency json report");
         println!("wrote {}", path.display());
     }
 }

@@ -7,6 +7,6 @@ pub mod report;
 pub mod states;
 pub mod workload;
 
-pub use report::{json_path_from_args, smoke_mode, Json, Series, Table};
+pub use report::{json_path_from_args, path_from_args, smoke_mode, Json, Series, Table};
 pub use states::{suspended_state, workflow_gvm};
 pub use workload::{production_day, DayStats, TaskSpec};

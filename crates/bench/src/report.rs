@@ -255,12 +255,20 @@ impl From<Vec<Json>> for Json {
 /// (the committed `BENCH_*.json` baselines) in addition to the tables
 /// it prints.
 pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    path_from_args("--json")
+}
+
+/// Generic `<flag> <path>` / `<flag>=<path>` lookup for benches that
+/// write more than one report (e.g. the scale bench's `--latency-json`
+/// for the committed `BENCH_latency.json` phase-attribution baseline).
+pub fn path_from_args(flag: &str) -> Option<std::path::PathBuf> {
+    let prefix = format!("{flag}=");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--json" {
+        if a == flag {
             return args.next().map(std::path::PathBuf::from);
         }
-        if let Some(p) = a.strip_prefix("--json=") {
+        if let Some(p) = a.strip_prefix(&prefix) {
             return Some(std::path::PathBuf::from(p));
         }
     }

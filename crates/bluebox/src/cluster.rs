@@ -7,7 +7,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
-use gozer_obs::{Event, EventKind, Histogram, Obs};
+use gozer_obs::{Event, EventKind, Histogram, Obs, Phase};
 use gozer_xml::ServiceDescription;
 use parking_lot::{Mutex, RwLock};
 
@@ -114,6 +114,11 @@ pub struct Cluster {
     /// (`ResumeFromCall`) inherit the placement hint of the fiber they
     /// resume. Installed by the embedder (Vinz).
     affinity_resolver: RwLock<Option<Arc<dyn Fn(&str) -> Option<u32> + Send + Sync>>>,
+    /// Latency-phase attribution hook: `f(task_id, phase)` flips the
+    /// task's tracker ledger into `phase`. Installed by the embedder
+    /// (Vinz); the broker calls it when it parks, releases, reclaims,
+    /// or re-queues a task-correlated message.
+    phase_observer: RwLock<Option<Arc<dyn Fn(&str, Phase) + Send + Sync>>>,
     chaos: RwLock<Option<Arc<ChaosPlan>>>,
     /// Broker metrics.
     pub metrics: Arc<Metrics>,
@@ -201,6 +206,7 @@ impl Cluster {
             policy,
             affinity_slack: RwLock::new(crate::queue::DEFAULT_AFFINITY_SLACK),
             affinity_resolver: RwLock::new(None),
+            phase_observer: RwLock::new(None),
             chaos: RwLock::new(None),
             metrics,
             obs,
@@ -288,6 +294,25 @@ impl Cluster {
         *self.affinity_resolver.write() = Some(Arc::new(f));
     }
 
+    /// Install the latency-phase observer: `f(task_id, phase)` is
+    /// called whenever a broker transition changes what a task is
+    /// waiting on (parked on durability, released to a queue, lease
+    /// expired, re-queued). Installed by the embedder (Vinz) so the
+    /// task tracker's phase ledger follows broker-side time.
+    pub fn set_phase_observer(&self, f: impl Fn(&str, Phase) + Send + Sync + 'static) {
+        *self.phase_observer.write() = Some(Arc::new(f));
+    }
+
+    /// Flip `msg`'s task (if the message is task-correlated) into
+    /// `phase` via the installed observer.
+    fn note_phase(&self, msg: &Message, phase: Phase) {
+        let observer = self.phase_observer.read().clone();
+        let Some(observer) = observer else { return };
+        if let Some(task) = task_of(msg) {
+            observer(task, phase);
+        }
+    }
+
     /// Install the durability probe the speculative-send gate consults:
     /// `f(watermark)` answers "has the store committed this watermark?".
     /// Installed by the embedder (Vinz) alongside the store's commit
@@ -310,9 +335,27 @@ impl Cluster {
             ready
         };
         for msg in ready {
-            self.held_released.fetch_add(1, Ordering::Relaxed);
-            self.dispatch(msg);
+            self.release_held(msg);
         }
+    }
+
+    /// Deliver a message whose durability gate just opened: stamp how
+    /// long it was parked (so queue-wait accounting can exclude it),
+    /// flip its task back to `queue_wait`, and dispatch.
+    fn release_held(&self, mut msg: Message) {
+        self.held_released.fetch_add(1, Ordering::Relaxed);
+        let held = msg.enqueued_at.elapsed().as_nanos() as u64;
+        msg.held_nanos = msg.held_nanos.saturating_add(held);
+        self.obs.bus.emit(msg_event(
+            EventKind::MessageReleased {
+                service: msg.service.clone(),
+                operation: msg.operation.clone(),
+                held_nanos: held,
+            },
+            &msg,
+        ));
+        self.note_phase(&msg, Phase::QueueWait);
+        self.dispatch(msg);
     }
 
     /// Messages currently parked behind the speculative-send gate.
@@ -460,6 +503,15 @@ impl Cluster {
                 let mut held = self.held.lock();
                 if !probe(msg.hold_until) {
                     self.held_total.fetch_add(1, Ordering::Relaxed);
+                    self.obs.bus.emit(msg_event(
+                        EventKind::MessageHeld {
+                            service: msg.service.clone(),
+                            operation: msg.operation.clone(),
+                            watermark: msg.hold_until,
+                        },
+                        &msg,
+                    ));
+                    self.note_phase(&msg, Phase::DurabilityHold);
                     held.push(msg);
                     return;
                 }
@@ -742,6 +794,27 @@ impl Cluster {
         self.closed.load(Ordering::Relaxed)
     }
 
+    /// Whether the lease-reaper thread is still running — a liveness
+    /// signal for `/healthz`.
+    pub fn reaper_alive(&self) -> bool {
+        self.reaper
+            .lock()
+            .as_ref()
+            .is_some_and(|h| !h.is_finished())
+    }
+
+    /// `(alive, total)` instance counts across every service — the
+    /// other `/healthz` liveness signal (chaos kills mark instances
+    /// dead until the supervisor respawns them).
+    pub fn instance_counts(&self) -> (usize, usize) {
+        let instances = self.instances.lock();
+        let alive = instances
+            .iter()
+            .filter(|h| h.control.alive.load(Ordering::Relaxed))
+            .count();
+        (alive, instances.len())
+    }
+
     /// One reaper scan: expire leases whose holder is dead or stale,
     /// re-queue reclaims past their backoff (or quarantine them over
     /// budget), and release due delayed sends.
@@ -780,6 +853,9 @@ impl Cluster {
             if lease.msg.redeliveries >= cfg.redelivery_budget {
                 self.quarantine(&lease.service, lease.msg, "redelivery-budget");
             } else {
+                // The task is now waiting on the redelivery machinery,
+                // not on a queue or a handler.
+                self.note_phase(&lease.msg, Phase::LeaseRedelivery);
                 let due = now + cfg.backoff_for(lease.msg.redeliveries);
                 self.reclaims_pending.lock().push(PendingReclaim {
                     due,
@@ -814,6 +890,7 @@ impl Cluster {
                 },
                 &p.msg,
             ));
+            self.note_phase(&p.msg, Phase::QueueWait);
             let queue = self.queue(&p.service);
             queue.push_front(p.msg);
             queue.settle();
@@ -843,8 +920,7 @@ impl Cluster {
                 ready
             };
             for msg in ready {
-                self.held_released.fetch_add(1, Ordering::Relaxed);
-                self.dispatch(msg);
+                self.release_held(msg);
             }
         }
     }
@@ -872,6 +948,7 @@ impl Cluster {
             ));
             // push_front bumps the redelivery count, so the budget
             // converges even when every attempt fails the same way.
+            self.note_phase(&msg, Phase::QueueWait);
             self.queue(service).push_front(msg);
         }
     }
@@ -977,7 +1054,9 @@ fn instance_loop(
             },
         );
         let metrics = &cluster.metrics;
-        let wait = msg.enqueued_at.elapsed().as_nanos() as u64;
+        // Pure queue wait: durability-hold time (stamped on release) is
+        // its own latency phase, not queue time.
+        let wait = (msg.enqueued_at.elapsed().as_nanos() as u64).saturating_sub(msg.held_nanos);
         metrics.add(&metrics.delivered, 1);
         metrics.add(&metrics.wait_nanos, wait);
         metrics.add(&metrics.wait_count, 1);
@@ -1017,6 +1096,7 @@ fn instance_loop(
                         &msg,
                     ));
                     cluster.leases.lock().remove(&msg.id);
+                    cluster.note_phase(&msg, Phase::QueueWait);
                     queue.push_front(msg);
                     queue.settle();
                     continue;
@@ -1149,6 +1229,17 @@ fn msg_event(kind: EventKind, msg: &Message) -> Event {
         .message(msg.id)
         .task_opt(msg.get_header("task-id").map(str::to_string))
         .fiber_opt(msg.get_header("fiber-id").map(str::to_string))
+}
+
+/// The task a message belongs to: its `task-id` header, else the
+/// `task/fiber` prefix of its `fiber-id` header.
+fn task_of(msg: &Message) -> Option<&str> {
+    if let Some(t) = msg.get_header("task-id") {
+        return Some(t);
+    }
+    let fiber = msg.get_header("fiber-id")?;
+    let task = fiber.split('/').next()?;
+    (!task.is_empty() && task != fiber).then_some(task)
 }
 
 /// Mirror the [`Metrics`] atomics into the registry as closure-backed

@@ -63,6 +63,12 @@ pub struct Message {
     /// [`DurabilityTicket`]; the cluster parks the message until the
     /// commit watermark passes it.
     pub hold_until: u64,
+    /// How long the message sat parked behind its `hold_until` gate, in
+    /// nanoseconds; stamped by the broker on release. Queue-wait
+    /// accounting subtracts it, so durability holds and genuine queue
+    /// time are attributed to separate latency phases. Zero when the
+    /// message never parked (synchronous stores).
+    pub held_nanos: u64,
 }
 
 impl Message {
@@ -82,6 +88,7 @@ impl Message {
             enqueued_at: Instant::now(),
             redeliveries: 0,
             hold_until: 0,
+            held_nanos: 0,
         }
     }
 

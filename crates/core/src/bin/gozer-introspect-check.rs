@@ -1,0 +1,80 @@
+//! Driver for the `introspect-check` CI gate: boot a deployment with
+//! the live introspection server on an ephemeral port, run a workflow,
+//! then fetch `/metrics`, `/healthz`, `/tasks`, and `/timeline/<task>`
+//! over a plain `std::net::TcpStream` — the same path an external
+//! scraper takes — and print each response under a `== <route>` marker
+//! for `scripts/introspect_check.sh` to shape-check. Also asserts here
+//! (where both sides are reachable) that the scraped `/metrics` body is
+//! byte-identical to the in-process exporter.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use gozer::{GozerSystem, Value};
+
+const WORKFLOW: &str = r#"
+(defun main (n)
+  (apply #'+ (for-each (i in (range n)) (* i i))))
+"#;
+
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect to introspect server");
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: gozer\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read response");
+    let (head, body) = resp.split_once("\r\n\r\n").expect("response head");
+    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+}
+
+fn main() {
+    let system = GozerSystem::builder()
+        .nodes(2)
+        .instances_per_node(2)
+        .workflow(WORKFLOW)
+        .introspect("127.0.0.1:0")
+        .build()
+        .expect("deploy");
+    let obs = system.workflow.obs();
+    obs.set_tracing(true);
+    let addr = system.workflow.introspect_addr().expect("server bound");
+
+    let task = system.start("main", vec![Value::Int(6)]).expect("start");
+    let rec = system
+        .wait(&task, Duration::from_secs(60))
+        .expect("task finishes");
+    assert!(rec.status.is_final(), "task reached a final state");
+
+    for route in ["/healthz", "/tasks", &format!("/timeline/{task}")] {
+        let (status, body) = http_get(addr, route);
+        println!("== {route} {status}");
+        print!("{body}");
+        if !body.ends_with('\n') {
+            println!();
+        }
+    }
+
+    // Byte identity between the wire and the in-process exporter.
+    // Closure-backed samples can tick between the two reads on a busy
+    // machine; retry until a stable pair lines up.
+    let mut identical = false;
+    let mut scraped = String::new();
+    for _ in 0..40 {
+        let (status, body) = http_get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK", "/metrics status");
+        scraped = body;
+        if scraped == obs.export_text() {
+            identical = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    println!("== /metrics byte-identity {}", if identical { "MATCH" } else { "MISMATCH" });
+    print!("{scraped}");
+
+    system.shutdown();
+    if !identical {
+        std::process::exit(1);
+    }
+}

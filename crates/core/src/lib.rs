@@ -63,8 +63,10 @@ pub use gozer_serial::{deserialize_state, deserialize_value, serialize_state, se
 pub use gozer_vm::{Condition, FiberState, Gvm, RunOutcome, Suspension, VmError};
 pub use gozer_xml::{Element, QName, ServiceDescription};
 pub use gozer_obs::{
-    Event, EventBus, EventKind, FlightDump, FlightRecorder, FnProfile, MetricsRegistry, Obs,
-    ProfileReport, SerialCostSnapshot, Snapshot, TaskTimeline, TimelineSet,
+    CriticalPath, CriticalSegment, Event, EventBus, EventKind, FlightDump, FlightRecorder,
+    FnProfile, HealthReport, IntrospectServer, IntrospectSource, MetricsRegistry, Obs, Phase,
+    PhaseBreakdown, ProfileReport, SerialCostSnapshot, Snapshot, TaskSummary, TaskTimeline,
+    TimelineSet, PHASE_COUNT,
 };
 pub use vinz::{
     DurabilityTicket, FileLocks, FileStore, FileStoreBuilder, FsyncPolicy, InProcessLocks,
@@ -103,6 +105,7 @@ pub struct GozerSystemBuilder {
     store: Option<Arc<dyn StateStore>>,
     locks: Option<Arc<dyn LockManager>>,
     cluster: Option<Arc<Cluster>>,
+    introspect_addr: Option<String>,
 }
 
 impl GozerSystem {
@@ -118,6 +121,7 @@ impl GozerSystem {
             store: None,
             locks: None,
             cluster: None,
+            introspect_addr: None,
         }
     }
 
@@ -211,6 +215,14 @@ impl GozerSystemBuilder {
         self
     }
 
+    /// Serve live introspection over HTTP on `addr` (`"127.0.0.1:0"`
+    /// for an ephemeral port); the bound address is available from
+    /// `workflow.introspect_addr()` after [`GozerSystemBuilder::build`].
+    pub fn introspect(mut self, addr: &str) -> Self {
+        self.introspect_addr = Some(addr.to_string());
+        self
+    }
+
     /// Deploy everything.
     pub fn build(self) -> Result<GozerSystem, VinzError> {
         let cluster = self
@@ -225,6 +237,9 @@ impl GozerSystemBuilder {
             .store(store)
             .locks(locks)
             .config(self.config);
+        if let Some(addr) = &self.introspect_addr {
+            builder = builder.introspect(addr);
+        }
         for node in 0..self.nodes {
             builder = builder.instances(node, self.instances_per_node);
         }

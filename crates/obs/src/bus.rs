@@ -186,6 +186,34 @@ mod tests {
         assert_eq!(snap.last().unwrap().instance, Some(9));
     }
 
+    /// Overflow drops must be counted on *every* shard, not just shard
+    /// 0: emit past capacity on each shard (distinct node ids cover all
+    /// eight) and check the shared counter accounts for all of them.
+    #[test]
+    fn ring_overflow_counts_drops_on_every_shard() {
+        const CAP: usize = 4;
+        const PER_SHARD: u32 = 10;
+        let bus = EventBus::with_capacity(CAP);
+        bus.set_enabled(true);
+        for node in 0..SHARDS as u32 {
+            for _ in 0..PER_SHARD {
+                bus.emit(Event::new(EventKind::FiberRun).node(node));
+            }
+        }
+        // Every shard kept CAP events and dropped the rest.
+        assert_eq!(bus.len(), SHARDS * CAP);
+        assert_eq!(
+            bus.dropped(),
+            (SHARDS as u64) * (u64::from(PER_SHARD) - CAP as u64)
+        );
+        // Each shard's survivors are that node's newest events.
+        let snap = bus.snapshot();
+        for node in 0..SHARDS as u32 {
+            let kept = snap.iter().filter(|e| e.node == Some(node)).count();
+            assert_eq!(kept, CAP, "shard for node {node}");
+        }
+    }
+
     #[test]
     fn clear_resets_buffer_but_not_seq() {
         let bus = EventBus::new();

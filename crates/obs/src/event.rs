@@ -65,6 +65,26 @@ pub enum EventKind {
         /// Why it was quarantined (e.g. `redelivery-budget`).
         reason: String,
     },
+    /// A send was parked on a durability watermark (`hold_until`): the
+    /// speculative-persistence hold began.
+    MessageHeld {
+        /// Destination service.
+        service: String,
+        /// Destination operation.
+        operation: String,
+        /// The watermark the message is waiting on.
+        watermark: u64,
+    },
+    /// A parked message's watermark became durable and the message was
+    /// released into its queue.
+    MessageReleased {
+        /// Destination service.
+        service: String,
+        /// Destination operation.
+        operation: String,
+        /// How long the message was parked, in nanoseconds.
+        held_nanos: u64,
+    },
 
     // ---- workflow lifecycle (Vinz) ---------------------------------------
     /// `Start` accepted: the task and its main fiber exist.
@@ -159,6 +179,8 @@ impl EventKind {
             EventKind::InstanceCrashed { .. } => "crash",
             EventKind::LeaseReclaimed { .. } => "reclaim",
             EventKind::MessageDeadLettered { .. } => "dead-letter",
+            EventKind::MessageHeld { .. } => "hold",
+            EventKind::MessageReleased { .. } => "release",
             EventKind::TaskStarted => "start",
             EventKind::FiberRun => "run-fiber",
             EventKind::FiberYield { .. } => "yield",

@@ -30,18 +30,22 @@
 pub mod bus;
 pub mod event;
 pub mod flight;
+pub mod introspect;
 pub mod metrics;
+pub mod phase;
 pub mod profile;
 pub mod span;
 
 pub use bus::EventBus;
 pub use event::{Event, EventKind};
 pub use flight::{FlightDump, FlightRecorder};
+pub use introspect::{HealthReport, IntrospectServer, IntrospectSource, TaskSummary};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, SampleSnapshot, Snapshot,
 };
+pub use phase::{Phase, PhaseBreakdown, PHASE_COUNT};
 pub use profile::{FnProfile, ProfileReport, SerialCostSnapshot, SerialCosts};
-pub use span::{FiberSpan, TaskTimeline, TimelineSet};
+pub use span::{CriticalPath, CriticalSegment, FiberSpan, TaskTimeline, TimelineSet};
 
 /// One bus + one registry + one flight recorder: the observability
 /// handle a cluster owns and every layer (broker, workflow service, VM

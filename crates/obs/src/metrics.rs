@@ -730,6 +730,81 @@ bb_wait_seconds{quantile=\"0.99\"} 0.003983994
         assert_eq!(s.quantile(-0.1), None);
     }
 
+    /// A counter reset (a respawned node re-registers and restarts its
+    /// atomics at zero) must diff to zero, never wrap negative.
+    #[test]
+    fn snapshot_diff_survives_counter_reset() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("gozer_restarts_total", "Restarting thing.");
+        c.add(100);
+        let before = reg.snapshot();
+        // Simulate the respawn: a fresh registry (new atomics at zero)
+        // that has seen less traffic than the old one.
+        let reg2 = MetricsRegistry::new();
+        reg2.counter("gozer_restarts_total", "Restarting thing.").add(3);
+        let delta = reg2.snapshot().diff(&before);
+        assert_eq!(delta.counter("gozer_restarts_total"), Some(0));
+    }
+
+    /// Histogram resets likewise saturate per field and per bucket.
+    #[test]
+    fn histogram_diff_saturates_on_reset() {
+        let old = {
+            let h = Histogram::new();
+            for _ in 0..5 {
+                h.observe_nanos(2_000);
+            }
+            h.snapshot()
+        };
+        let new = {
+            let h = Histogram::new();
+            h.observe_nanos(2_000);
+            h.snapshot()
+        };
+        let delta = new.diff(&old);
+        assert_eq!(delta.count, 0);
+        assert_eq!(delta.sum_nanos, 0);
+        assert!(delta.buckets.iter().all(|&b| b == 0));
+        // And the all-zero diff behaves like an empty histogram.
+        assert_eq!(delta.mean(), None);
+        assert_eq!(delta.p99(), None);
+    }
+
+    /// Quantiles on the empty/single-bucket boundaries: q=0 and q=1 are
+    /// valid and bounded by the occupied bucket.
+    #[test]
+    fn quantile_boundaries_are_well_defined() {
+        let h = Histogram::new();
+        h.observe_nanos(3_000); // single observation, bucket 1 (1µs, 4µs]
+        let s = h.snapshot();
+        let q0 = s.quantile(0.0).unwrap();
+        let q1 = s.quantile(1.0).unwrap();
+        assert!(q0 <= q1);
+        assert!(q1 <= Duration::from_nanos(bucket_upper_nanos(1)));
+        // Monotone across the whole range on a single bucket.
+        let mut last = q0;
+        for i in 1..=10 {
+            let q = s.quantile(i as f64 / 10.0).unwrap();
+            assert!(q >= last, "quantile must be monotone in q");
+            last = q;
+        }
+    }
+
+    /// Samples that appear only in the later snapshot pass through; a
+    /// gauge always reports its current value, even after moving down.
+    #[test]
+    fn snapshot_diff_new_samples_and_gauges() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("gozer_depth", "Depth.");
+        g.set(10);
+        let before = reg.snapshot();
+        g.set(4);
+        reg.counter("gozer_new_total", "Appeared mid-interval.").add(7);
+        let delta = reg.snapshot().diff(&before);
+        assert_eq!(delta.gauge("gozer_depth"), Some(4));
+        assert_eq!(delta.counter("gozer_new_total"), Some(7));
+    }
+
     #[test]
     fn format_seconds_is_exact() {
         assert_eq!(format_seconds(0), "0.0");

@@ -11,9 +11,10 @@
 //! test asserts that set stays empty.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::event::{Event, EventKind};
+use crate::phase::{Phase, PhaseBreakdown};
 
 /// One fiber's span: its events plus tree links.
 #[derive(Debug, Clone)]
@@ -98,7 +99,282 @@ impl TaskTimeline {
                 render_span(span, &known, 1, origin, &mut out);
             }
         }
+        let cp = self.critical_path();
+        if !cp.segments.is_empty() {
+            out.push_str("  critical path:\n");
+            out.push_str(&cp.render_at(origin, 2));
+            let totals = cp.totals();
+            out.push_str(&format!("  critical totals: {}", totals.render()));
+            if let Some((phase, d)) = totals.dominant() {
+                out.push_str(&format!(
+                    " (dominant {phase} {:.3}ms)",
+                    d.as_secs_f64() * 1e3
+                ));
+            }
+            out.push('\n');
+        }
         out
+    }
+
+    /// The earliest `TaskStarted` event, if traced.
+    fn task_started(&self) -> Option<&Event> {
+        self.events
+            .iter()
+            .chain(self.spans.iter().flat_map(|s| s.events.iter()))
+            .filter(|e| matches!(e.kind, EventKind::TaskStarted))
+            .min_by_key(|e| e.seq)
+    }
+
+    /// Compute the task's **critical path**: the single chain of phases
+    /// that gated completion, walked *backward* from the final
+    /// `TaskDone` event through the causes of each activation.
+    ///
+    /// At each step the latest activation (`FiberRun` / `FiberResumed`)
+    /// before the cursor bounds an execution segment (`vm_exec`); the
+    /// activation's cause determines the preceding wait segment and
+    /// where the walk jumps next:
+    ///
+    /// * `FiberRun` ← the parent's `FiberForked` (a `queue_wait` for
+    ///   the RunFiber message; the walk continues in the parent) or the
+    ///   task's `TaskStarted` (terminal `queue_wait`).
+    /// * `FiberResumed via service-call` ← the same fiber's latest
+    ///   `ServiceCallDispatched` (`service_wait`).
+    /// * `FiberResumed via awake`/`join` ← the latest child `FiberDone`
+    ///   (a `queue_wait` for the awake; the walk recurses into the
+    ///   child), else the fiber's own `FiberYield` (`suspended`).
+    ///
+    /// Queue-wait windows containing a `MessageReleased` broker event
+    /// split the released `held_nanos` out as `durability_hold`.
+    /// Termination is guaranteed: the cursor's event sequence number is
+    /// strictly decreasing, with an iteration cap as a belt.
+    pub fn critical_path(&self) -> CriticalPath {
+        let mut segs: Vec<CriticalSegment> = Vec::new();
+        let done = self
+            .events
+            .iter()
+            .chain(self.spans.iter().flat_map(|s| s.events.iter()))
+            .filter(|e| matches!(e.kind, EventKind::TaskDone { .. }))
+            .max_by_key(|e| e.seq);
+        let Some(done) = done else {
+            return CriticalPath::default();
+        };
+        let root = self.spans.iter().find(|s| {
+            s.parent.as_deref().map_or(true, |p| self.span(p).is_none())
+        });
+        let Some(mut fiber) = done
+            .fiber
+            .as_deref()
+            .and_then(|f| self.span(f))
+            .or(root)
+        else {
+            return CriticalPath::default();
+        };
+        let mut cursor: Event = done.clone();
+        for _ in 0..10_000 {
+            let activation = fiber
+                .events
+                .iter()
+                .filter(|e| e.seq < cursor.seq)
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        EventKind::FiberRun | EventKind::FiberResumed { .. }
+                    )
+                })
+                .max_by_key(|e| e.seq);
+            let Some(act) = activation.cloned() else {
+                // Trace window truncated before this fiber's activation:
+                // close with a wait back to the task start if visible.
+                if let Some(start) = self.task_started() {
+                    if start.seq < cursor.seq {
+                        push_wait(&mut segs, fiber, start.at, cursor.at);
+                    }
+                }
+                break;
+            };
+            segs.push(CriticalSegment {
+                fiber: fiber.fiber.clone(),
+                phase: Phase::VmExec,
+                start: act.at,
+                duration: cursor.at.saturating_duration_since(act.at),
+            });
+            match &act.kind {
+                EventKind::FiberRun => {
+                    let parent = fiber.parent.as_deref().and_then(|p| self.span(p));
+                    let fork = parent.and_then(|p| {
+                        p.events
+                            .iter()
+                            .filter(|e| e.seq < act.seq)
+                            .filter(|e| {
+                                matches!(&e.kind,
+                                    EventKind::FiberForked { child } if *child == fiber.fiber)
+                            })
+                            .max_by_key(|e| e.seq)
+                    });
+                    match (parent, fork) {
+                        (Some(p), Some(f)) => {
+                            push_wait(&mut segs, fiber, f.at, act.at);
+                            cursor = f.clone();
+                            fiber = p;
+                        }
+                        _ => {
+                            if let Some(start) = self.task_started() {
+                                if start.seq < act.seq {
+                                    push_wait(&mut segs, fiber, start.at, act.at);
+                                }
+                            }
+                            break;
+                        }
+                    }
+                }
+                EventKind::FiberResumed { via } if via == "service-call" => {
+                    let call = fiber
+                        .events
+                        .iter()
+                        .filter(|e| e.seq < act.seq)
+                        .filter(|e| {
+                            matches!(e.kind, EventKind::ServiceCallDispatched { .. })
+                        })
+                        .max_by_key(|e| e.seq);
+                    let Some(c) = call.cloned() else { break };
+                    segs.push(CriticalSegment {
+                        fiber: fiber.fiber.clone(),
+                        phase: Phase::ServiceWait,
+                        start: c.at,
+                        duration: act.at.saturating_duration_since(c.at),
+                    });
+                    cursor = c;
+                }
+                EventKind::FiberResumed { .. } => {
+                    // awake / join: gated by the latest child completion.
+                    let child_done = fiber
+                        .children
+                        .iter()
+                        .filter_map(|c| self.span(c))
+                        .filter_map(|c| {
+                            c.events
+                                .iter()
+                                .filter(|e| e.seq < act.seq)
+                                .filter(|e| matches!(e.kind, EventKind::FiberDone))
+                                .max_by_key(|e| e.seq)
+                                .map(|e| (c, e))
+                        })
+                        .max_by_key(|(_, e)| e.seq);
+                    if let Some((child, done_e)) = child_done {
+                        push_wait(&mut segs, fiber, done_e.at, act.at);
+                        cursor = done_e.clone();
+                        fiber = child;
+                    } else {
+                        let prior = fiber
+                            .events
+                            .iter()
+                            .filter(|e| e.seq < act.seq)
+                            .filter(|e| matches!(e.kind, EventKind::FiberYield { .. }))
+                            .max_by_key(|e| e.seq);
+                        let Some(y) = prior.cloned() else { break };
+                        segs.push(CriticalSegment {
+                            fiber: fiber.fiber.clone(),
+                            phase: Phase::Suspended,
+                            start: y.at,
+                            duration: act.at.saturating_duration_since(y.at),
+                        });
+                        cursor = y;
+                    }
+                }
+                _ => break,
+            }
+        }
+        segs.reverse();
+        CriticalPath { segments: segs }
+    }
+}
+
+/// One hop of a task's critical path.
+#[derive(Debug, Clone)]
+pub struct CriticalSegment {
+    /// Fiber the segment belongs to.
+    pub fiber: String,
+    /// What the time was spent on.
+    pub phase: Phase,
+    /// When the segment began.
+    pub start: Instant,
+    /// How long it lasted.
+    pub duration: Duration,
+}
+
+/// The dominant phase chain gating a task's completion — the answer to
+/// "where did this task's wall-clock actually go?".
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Segments in causal (chronological) order.
+    pub segments: Vec<CriticalSegment>,
+}
+
+impl CriticalPath {
+    /// Total critical-path time per phase.
+    pub fn totals(&self) -> PhaseBreakdown {
+        let mut b = PhaseBreakdown::default();
+        for s in &self.segments {
+            b.phases[s.phase.index()] += s.duration;
+        }
+        b
+    }
+
+    /// End-to-end critical-path length.
+    pub fn total(&self) -> Duration {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Render one line per segment, offsets relative to `origin`,
+    /// indented `depth` two-space stops.
+    pub fn render_at(&self, origin: Instant, depth: usize) -> String {
+        let pad = "  ".repeat(depth);
+        let mut out = String::new();
+        for s in &self.segments {
+            let ms = s.start.saturating_duration_since(origin).as_secs_f64() * 1e3;
+            out.push_str(&format!(
+                "{pad}+{ms:8.3}ms {:<16} {:9.3}ms  {}\n",
+                s.phase.as_str(),
+                s.duration.as_secs_f64() * 1e3,
+                s.fiber,
+            ));
+        }
+        out
+    }
+}
+
+/// Append the wait window `[t0, t1]` on `fiber` to `segs` (still in
+/// backward order), splitting out any durability hold recorded by
+/// `MessageReleased` events inside the window.
+fn push_wait(segs: &mut Vec<CriticalSegment>, fiber: &FiberSpan, t0: Instant, t1: Instant) {
+    let window = t1.saturating_duration_since(t0);
+    let held_nanos: u64 = fiber
+        .events
+        .iter()
+        .filter(|e| e.at >= t0 && e.at <= t1)
+        .filter_map(|e| match &e.kind {
+            EventKind::MessageReleased { held_nanos, .. } => Some(*held_nanos),
+            _ => None,
+        })
+        .sum();
+    let held = Duration::from_nanos(held_nanos).min(window);
+    let queue = window.saturating_sub(held);
+    // Backward order: the queue leg (after release) precedes the hold.
+    if queue > Duration::ZERO || held.is_zero() {
+        segs.push(CriticalSegment {
+            fiber: fiber.fiber.clone(),
+            phase: Phase::QueueWait,
+            start: t0 + held,
+            duration: queue,
+        });
+    }
+    if held > Duration::ZERO {
+        segs.push(CriticalSegment {
+            fiber: fiber.fiber.clone(),
+            phase: Phase::DurabilityHold,
+            start: t0,
+            duration: held,
+        });
     }
 }
 
@@ -153,6 +429,23 @@ fn describe(e: &Event, origin: Instant) -> String {
             reason,
         } => {
             line.push_str(&format!(" {service}:{operation} ({reason})"));
+        }
+        EventKind::MessageHeld {
+            service,
+            operation,
+            watermark,
+        } => {
+            line.push_str(&format!(" {service}:{operation} wm={watermark}"));
+        }
+        EventKind::MessageReleased {
+            service,
+            operation,
+            held_nanos,
+        } => {
+            line.push_str(&format!(
+                " {service}:{operation} held={:.3}ms",
+                *held_nanos as f64 / 1e6
+            ));
         }
         EventKind::InstancesRespawned { service, count } => {
             line.push_str(&format!(" {count} x {service}"));
@@ -221,6 +514,8 @@ impl TimelineSet {
                     | EventKind::InstanceCrashed { .. }
                     | EventKind::LeaseReclaimed { .. }
                     | EventKind::MessageDeadLettered { .. }
+                    | EventKind::MessageHeld { .. }
+                    | EventKind::MessageReleased { .. }
             )
         };
 
@@ -396,6 +691,98 @@ mod tests {
         assert!(t.render().contains("drop on RunFiber"));
         assert!(t.render().contains("[msg 42]"));
         assert!(set.correlated_orphans().is_empty());
+    }
+
+    #[test]
+    fn critical_path_walks_fork_service_wait_and_hold() {
+        let bus = EventBus::new();
+        bus.set_enabled(true);
+        // Root fiber forks a child; the child's RunFiber message is
+        // parked on a durability watermark, then the child makes a
+        // service call; its completion awakes the root.
+        bus.emit(Event::new(EventKind::TaskStarted).task("task-1"));
+        bus.emit(Event::new(EventKind::FiberRun).fiber("task-1/f0"));
+        bus.emit(
+            Event::new(EventKind::FiberForked { child: "task-1/f1".into() })
+                .fiber("task-1/f0"),
+        );
+        bus.emit(
+            Event::new(EventKind::FiberYield { reason: "children".into() })
+                .fiber("task-1/f0"),
+        );
+        bus.emit(
+            Event::new(EventKind::MessageReleased {
+                service: "workflow".into(),
+                operation: "RunFiber".into(),
+                held_nanos: 1,
+            })
+            .fiber("task-1/f1"),
+        );
+        bus.emit(Event::new(EventKind::FiberRun).fiber("task-1/f1"));
+        bus.emit(
+            Event::new(EventKind::ServiceCallDispatched { target: "maths:Square".into() })
+                .fiber("task-1/f1"),
+        );
+        bus.emit(
+            Event::new(EventKind::FiberResumed { via: "service-call".into() })
+                .fiber("task-1/f1"),
+        );
+        bus.emit(Event::new(EventKind::FiberDone).fiber("task-1/f1"));
+        bus.emit(
+            Event::new(EventKind::FiberResumed { via: "awake".into() })
+                .fiber("task-1/f0"),
+        );
+        bus.emit(
+            Event::new(EventKind::TaskDone { outcome: "completed".into() })
+                .fiber("task-1/f0"),
+        );
+
+        let set = TimelineSet::build(&emitted(&bus));
+        let t = set.task("task-1").unwrap();
+        let cp = t.critical_path();
+        let phases: Vec<Phase> = cp.segments.iter().map(|s| s.phase).collect();
+        // Chronological: task start wait → root exec → fork wait (with
+        // the hold split out) → child exec → service wait → child exec
+        // → awake wait → root exec.
+        assert_eq!(
+            phases,
+            vec![
+                Phase::QueueWait,
+                Phase::VmExec,
+                Phase::DurabilityHold,
+                Phase::QueueWait,
+                Phase::VmExec,
+                Phase::ServiceWait,
+                Phase::VmExec,
+                Phase::QueueWait,
+                Phase::VmExec,
+            ]
+        );
+        // Fiber attribution: the service wait belongs to the child.
+        let sw = cp
+            .segments
+            .iter()
+            .find(|s| s.phase == Phase::ServiceWait)
+            .unwrap();
+        assert_eq!(sw.fiber, "task-1/f1");
+        assert!(cp.totals().get(Phase::DurabilityHold) > Duration::ZERO);
+        // The rendered timeline carries the critical-path report.
+        let rendered = t.render();
+        assert!(rendered.contains("critical path:"), "{rendered}");
+        assert!(rendered.contains("critical totals:"), "{rendered}");
+        assert!(rendered.contains("service_wait"), "{rendered}");
+    }
+
+    #[test]
+    fn critical_path_without_task_done_is_empty() {
+        let bus = EventBus::new();
+        bus.set_enabled(true);
+        bus.emit(Event::new(EventKind::TaskStarted).task("task-1"));
+        bus.emit(Event::new(EventKind::FiberRun).fiber("task-1/f0"));
+        let set = TimelineSet::build(&emitted(&bus));
+        let cp = set.task("task-1").unwrap().critical_path();
+        assert!(cp.segments.is_empty());
+        assert_eq!(cp.total(), Duration::ZERO);
     }
 
     #[test]

@@ -19,15 +19,16 @@ use bluebox::{Cluster, Fault, Message, ServiceCtx};
 use gozer_compress::Codec;
 use gozer_lang::Value;
 use gozer_obs::{
-    Event, EventKind, FlightDump, FlightRecorder, FnProfile, Histogram, Obs, ProfileReport,
-    SerialCosts, Snapshot, TimelineSet,
+    Event, EventKind, FlightDump, FlightRecorder, FnProfile, HealthReport, Histogram,
+    IntrospectServer, IntrospectSource, Obs, Phase, ProfileReport, SerialCosts, Snapshot,
+    TaskSummary, TimelineSet, PHASE_COUNT,
 };
 use gozer_serial::{
     deserialize_state_costed, deserialize_state_delta, deserialize_value,
     serialize_state_delta, serialize_state_sized, serialize_value,
 };
 use gozer_vm::{Condition, FiberObsEvent, FiberObsKind, FiberState, Gvm, RunOutcome, Unwind, VmError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::cache::FiberCache;
 use crate::locks::{InProcessLocks, LockManager};
@@ -258,6 +259,16 @@ pub(crate) struct Inner {
     /// Start→complete latency histogram (`gozer_task_latency_seconds`),
     /// fed by [`Inner::finish_task`] on each first final transition.
     pub task_latency: Arc<Histogram>,
+    /// One histogram per [`Phase`] (`gozer_task_phase_seconds`), indexed
+    /// by `Phase::index()`. The closed enum *is* the cardinality guard:
+    /// the label space is exactly `PHASE_COUNT` phases × deployed
+    /// services, fixed at deploy time. Fed by [`Inner::finish_task`]
+    /// with each finished task's nonzero phase totals.
+    pub phase_hists: [Arc<Histogram>; PHASE_COUNT],
+    /// The live introspection server, when the deployment asked for one
+    /// ([`WorkflowServiceBuilder::introspect`]). Held so its accept loop
+    /// lives exactly as long as the deployment.
+    introspect: Mutex<Option<IntrospectServer>>,
     nodes: RwLock<HashMap<u32, Arc<NodeRuntime>>>,
     hot: RwLock<HashMap<String, FiberHot>>,
     next_task: AtomicU64,
@@ -284,6 +295,7 @@ pub struct WorkflowServiceBuilder {
     locks: Arc<dyn LockManager>,
     config: VinzConfig,
     instances: Vec<(u32, usize)>,
+    introspect_addr: Option<String>,
 }
 
 impl WorkflowServiceBuilder {
@@ -326,6 +338,17 @@ impl WorkflowServiceBuilder {
         self
     }
 
+    /// Serve live introspection over HTTP on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port). The deployment binds the
+    /// listener during [`WorkflowServiceBuilder::deploy`] — a bind
+    /// failure fails the deploy — and the bound address is available
+    /// from [`WorkflowService::introspect_addr`]. Routes: `/metrics`,
+    /// `/healthz`, `/tasks`, `/timeline/<task-id>`.
+    pub fn introspect(mut self, addr: &str) -> Self {
+        self.introspect_addr = Some(addr.to_string());
+        self
+    }
+
     /// Compile the source, register the service on the cluster, and
     /// spawn any requested instances.
     ///
@@ -342,6 +365,19 @@ impl WorkflowServiceBuilder {
             "Start→complete task latency.",
             &format!("service=\"{}\"", self.name),
         );
+        // Eagerly register the full (closed) phase family so a scrape
+        // sees every label from the first sample on, and the label
+        // space is provably bounded: PHASE_COUNT phases per service.
+        let phase_hists: [Arc<Histogram>; PHASE_COUNT] = {
+            let name = self.name.clone();
+            Phase::ALL.map(|p| {
+                obs.registry.histogram(
+                    "gozer_task_phase_seconds",
+                    "Per-phase share of task wall-clock (latency attribution).",
+                    &format!("phase=\"{}\",service=\"{name}\"", p.as_str()),
+                )
+            })
+        };
         let inner = Arc::new(Inner {
             name: self.name.clone(),
             source: self.source,
@@ -355,6 +391,8 @@ impl WorkflowServiceBuilder {
             metrics,
             serial_costs: Arc::new(SerialCosts::new()),
             task_latency,
+            phase_hists,
+            introspect: Mutex::new(None),
             nodes: RwLock::new(HashMap::new()),
             hot: RwLock::new(HashMap::new()),
             next_task: AtomicU64::new(1),
@@ -370,6 +408,17 @@ impl WorkflowServiceBuilder {
             weak.upgrade()
                 .and_then(|i| i.hot.read().get(fiber_id).map(|h| h.node))
         });
+        // The broker's leg of phase attribution: durability parks,
+        // hold releases, lease reclaims and requeues flip the owning
+        // task's ledger without the broker knowing about trackers.
+        {
+            let weak = Arc::downgrade(&inner);
+            self.cluster.set_phase_observer(move |task_id, phase| {
+                if let Some(i) = weak.upgrade() {
+                    i.tracker.note_phase(task_id, phase);
+                }
+            });
+        }
         // Speculative persistence (LogStore): saves return a ticket
         // before they are durable, and fiber-bound messages carry that
         // ticket in `hold_until`. The probe lets the broker ask "is this
@@ -405,6 +454,14 @@ impl WorkflowServiceBuilder {
         for (node_id, count) in self.instances {
             service.spawn_instances(node_id, count);
         }
+        if let Some(addr) = &self.introspect_addr {
+            let source = Arc::new(VinzIntrospect {
+                inner: Arc::downgrade(&service.inner),
+            });
+            let server = IntrospectServer::start(addr, source)
+                .map_err(|e| VinzError(format!("introspect bind {addr}: {e}")))?;
+            *service.inner.introspect.lock() = Some(server);
+        }
         Ok(service)
     }
 }
@@ -421,6 +478,7 @@ impl WorkflowService {
             locks: Arc::new(InProcessLocks::new()),
             config: VinzConfig::default(),
             instances: Vec::new(),
+            introspect_addr: None,
         }
     }
 
@@ -493,6 +551,11 @@ impl WorkflowService {
         args: Vec<Value>,
         deadline: Option<Duration>,
     ) -> Result<String, StartError> {
+        // Admission is the one phase that lives *outside* the tracker
+        // window (no task exists yet), so it feeds the histogram
+        // directly and is excluded from per-task phase sums.
+        let gate_opened = Instant::now();
+        let admission_hist = &self.inner.phase_hists[Phase::Admission.index()];
         let mut waits = 0u32;
         while let Some(reason) = self.admission_pressure() {
             if waits >= self.inner.config.admission_retries {
@@ -500,6 +563,7 @@ impl WorkflowService {
                     .metrics
                     .admission_rejected
                     .fetch_add(1, Ordering::Relaxed);
+                admission_hist.observe_duration(gate_opened.elapsed());
                 return Err(StartError::Rejected { reason });
             }
             if waits == 0 {
@@ -510,6 +574,9 @@ impl WorkflowService {
             }
             waits += 1;
             std::thread::sleep(self.inner.config.admission_backoff);
+        }
+        if waits > 0 {
+            admission_hist.observe_duration(gate_opened.elapsed());
         }
         self.start_unchecked(function, args, deadline)
             .map_err(StartError::Failed)
@@ -611,6 +678,12 @@ impl WorkflowService {
     /// The underlying store (for experiment instrumentation).
     pub fn store(&self) -> &Arc<dyn StateStore> {
         &self.inner.store
+    }
+
+    /// Where the live introspection server is listening, when the
+    /// deployment enabled one ([`WorkflowServiceBuilder::introspect`]).
+    pub fn introspect_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner.introspect.lock().as_ref().map(|s| s.addr())
     }
 }
 
@@ -835,6 +908,92 @@ fn register_vinz_metrics(obs: &Arc<Obs>, metrics: &Arc<VinzMetrics>, service: &s
         &labels,
         move || m.suspended_fibers.load(Ordering::Relaxed) as i64,
     );
+}
+
+/// The workflow layer behind the live introspection endpoint:
+/// everything is reached through a `Weak` so an open scrape cannot keep
+/// a dropped deployment alive — requests after teardown degrade to
+/// empty bodies and a `degraded` health verdict.
+struct VinzIntrospect {
+    inner: Weak<Inner>,
+}
+
+impl IntrospectSource for VinzIntrospect {
+    fn metrics_text(&self) -> String {
+        self.inner
+            .upgrade()
+            .map(|i| i.obs.registry.render_text())
+            .unwrap_or_default()
+    }
+
+    fn health(&self) -> HealthReport {
+        let Some(inner) = self.inner.upgrade() else {
+            return HealthReport {
+                healthy: false,
+                details: vec![("deployment".into(), "gone".into())],
+            };
+        };
+        let reaper = inner.cluster.reaper_alive();
+        let (alive, total) = inner.cluster.instance_counts();
+        let shutdown = inner.cluster.is_shutdown();
+        let healthy = reaper && !shutdown && (total == 0 || alive > 0);
+        HealthReport {
+            healthy,
+            details: vec![
+                ("reaper".into(), if reaper { "alive" } else { "dead" }.into()),
+                ("instances".into(), format!("{alive}/{total}")),
+                (
+                    "supervisor".into(),
+                    if inner.config.supervision.enabled {
+                        "enabled"
+                    } else {
+                        "disabled"
+                    }
+                    .into(),
+                ),
+                (
+                    "cluster".into(),
+                    if shutdown { "shutdown" } else { "up" }.into(),
+                ),
+            ],
+        }
+    }
+
+    fn tasks(&self) -> Vec<TaskSummary> {
+        let Some(inner) = self.inner.upgrade() else {
+            return Vec::new();
+        };
+        let mut rows: Vec<TaskSummary> = inner
+            .tracker
+            .all()
+            .into_iter()
+            .map(|r| TaskSummary {
+                id: r.id.clone(),
+                status: match &r.status {
+                    TaskStatus::Running => "running",
+                    TaskStatus::Completed(_) => "completed",
+                    TaskStatus::Terminated(_) => "terminated",
+                    TaskStatus::Failed(_) => "failed",
+                }
+                .into(),
+                phase: r
+                    .current_phase
+                    .map(|p| p.as_str().to_string())
+                    .unwrap_or_else(|| "-".into()),
+                fibers_created: r.fibers_created,
+                fibers_finished: r.fibers_finished,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.id.cmp(&b.id));
+        rows
+    }
+
+    fn timeline(&self, task: &str) -> Option<String> {
+        let inner = self.inner.upgrade()?;
+        TimelineSet::build(&inner.obs.bus.snapshot())
+            .task(task)
+            .map(|t| t.render())
+    }
 }
 
 struct WorkflowHandler {
@@ -1102,6 +1261,7 @@ impl Inner {
         fiber_id: &str,
         mut state: FiberState,
     ) -> Result<DurabilityTicket, VinzError> {
+        self.tracker.note_phase(Inner::task_of(fiber_id), Phase::Serialize);
         let (version, generation, chain) = self.fiber_meta(fiber_id)?;
         let hot = self.hot.read().get(fiber_id).copied();
         let size_hint = hot.map_or(256, |h| h.last_size.max(64));
@@ -1206,6 +1366,7 @@ impl Inner {
         instance: u64,
         fiber_id: &str,
     ) -> Result<FiberState, VinzError> {
+        self.tracker.note_phase(Inner::task_of(fiber_id), Phase::Deserialize);
         let (version, generation, chain) = self.fiber_meta(fiber_id)?;
         if let Some(state) = rt.cache.get_fiber(fiber_id, version) {
             self.trace.record(
@@ -1339,6 +1500,9 @@ impl Inner {
         self.set_phase(&fiber_id, "initial")?;
         self.trace
             .record(ctx.node_id, ctx.instance_id, &task_id, &fiber_id, TraceKind::Start);
+        // Back to queue_wait *before* the send: a durability park inside
+        // `send` flips to durability_hold and must not be overwritten.
+        self.tracker.note_phase(&task_id, Phase::QueueWait);
         self.send_run_fiber(&fiber_id, deadline, ticket);
         Ok(task_id.into_bytes())
     }
@@ -1701,10 +1865,21 @@ impl Inner {
     }
 
     /// Move a task to a final state and, when *this* call performed the
-    /// transition, feed the start→complete latency histogram.
+    /// transition, feed the start→complete latency histogram plus the
+    /// per-phase family with the task's (now closed) ledger. Only
+    /// nonzero phases observe, so e.g. `durability_hold` stays an empty
+    /// histogram under synchronous stores instead of a wall of zeros.
     pub(crate) fn finish_task(&self, task_id: &str, status: TaskStatus) {
         if let Some(d) = self.tracker.finish(task_id, status) {
             self.task_latency.observe_duration(d);
+            if let Some(rec) = self.tracker.get(task_id) {
+                for phase in Phase::ALL {
+                    let spent = rec.phases.get(phase);
+                    if !spent.is_zero() {
+                        self.phase_hists[phase.index()].observe_duration(spent);
+                    }
+                }
+            }
         }
     }
 
@@ -1750,6 +1925,7 @@ impl Inner {
             .map(Value::is_truthy)
             .unwrap_or(false);
 
+        self.tracker.note_phase(&task_id, Phase::VmExec);
         let outcome = match resume {
             None => rt.gvm.run_fiber(state),
             Some(v) => rt.gvm.resume_fiber(state, v),
@@ -1767,6 +1943,18 @@ impl Inner {
                     fiber_id,
                     TraceKind::Yield(reason.clone()),
                 );
+                // What the fiber is now waiting *on* decides where its
+                // wall-clock goes: a dispatched call accrues
+                // service_wait, children/join wait on broker messages
+                // (queue_wait), and a manual yield is simply suspended.
+                // Flipped after the save (which banked serialize time)
+                // and before any wake-up send, so a send-side
+                // durability park cannot be clobbered.
+                let wait_phase = match reason.as_str() {
+                    "service-call" => Phase::ServiceWait,
+                    "children" | "join" => Phase::QueueWait,
+                    _ => Phase::Suspended,
+                };
                 // join suspensions register a waiter; racing completion is
                 // handled by checking for the result *after* registering.
                 if reason == "join" {
@@ -1789,6 +1977,7 @@ impl Inner {
                         .map_err(|e| VinzError(e.to_string()))?;
                     self.set_phase(fiber_id, "suspended")?;
                     self.metrics.suspended_fibers.fetch_add(1, Ordering::Relaxed);
+                    self.tracker.note_phase(&task_id, wait_phase);
                     self.register_join_waiter(&target, fiber_id, ticket)?;
                 } else {
                     self.save_fiber(rt, ctx.instance_id, fiber_id, susp.state)?;
@@ -1797,6 +1986,7 @@ impl Inner {
                         .map_err(|e| VinzError(e.to_string()))?;
                     self.set_phase(fiber_id, "suspended")?;
                     self.metrics.suspended_fibers.fetch_add(1, Ordering::Relaxed);
+                    self.tracker.note_phase(&task_id, wait_phase);
                 }
             }
             Err(VmError::Unwind(Unwind::TerminateTask(cond))) => {
@@ -1856,6 +2046,7 @@ impl Inner {
         // AwakeFiber/JoinProcess messages below announce "this result
         // exists" to other fibers, so they must not leave the broker
         // before the result is actually on disk.
+        self.tracker.note_phase(task_id, Phase::Serialize);
         let bytes = serialize_value(&value, self.config.codec)
             .map_err(|e| VinzError(format!("result of {fiber_id}: {e}")))?;
         let key = format!("result/{fiber_id}");
@@ -1870,6 +2061,11 @@ impl Inner {
         self.tracker.fiber_finished(task_id);
         self.trace
             .record(ctx.node_id, ctx.instance_id, task_id, fiber_id, TraceKind::FiberDone);
+        // Until another of the task's fibers activates (or the root
+        // finish below closes the ledger) the task is waiting on the
+        // broker; flip before the wake-up sends so a durability park
+        // opens *on top of* queue_wait rather than being clobbered.
+        self.tracker.note_phase(task_id, Phase::QueueWait);
 
         // Footnote 1 of the paper: fibers created by for-each/parallel
         // notify their parent on termination; plain fork-and-exec fibers

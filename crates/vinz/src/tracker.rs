@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use gozer_lang::Value;
+use gozer_obs::{Phase, PhaseBreakdown};
 use gozer_vm::Condition;
 use parking_lot::{Condvar, Mutex};
 
@@ -49,6 +50,14 @@ pub struct TaskRecord {
     pub finished_at: Option<Instant>,
     /// Optional deadline (for the §5 scheduling experiment).
     pub deadline: Option<Instant>,
+    /// The task's latency decomposition: time accumulated per phase.
+    /// Closed (and exactly summing to [`TaskRecord::duration`]) once
+    /// the task is final.
+    pub phases: PhaseBreakdown,
+    /// The phase currently accumulating wall-clock; `None` once final.
+    pub current_phase: Option<Phase>,
+    /// When `current_phase` began.
+    pub phase_since: Instant,
 }
 
 impl TaskRecord {
@@ -66,6 +75,20 @@ impl TaskRecord {
             (Some(d), None) => Instant::now() > d,
             _ => false,
         }
+    }
+
+    /// Roll the phase ledger: bank the open phase's elapsed time at
+    /// `now`, then open `next` (or close the ledger with `None`). The
+    /// timestamps chain — each segment ends exactly where the next
+    /// begins — so when [`TaskTracker::finish`] closes the ledger with
+    /// the same `now` it stamps `finished_at` with, the phase durations
+    /// telescope to *exactly* `finished_at - started_at`. No-op once
+    /// the ledger is closed.
+    fn roll_phase(&mut self, next: Option<Phase>, now: Instant) {
+        let Some(cur) = self.current_phase else { return };
+        self.phases.phases[cur.index()] += now.saturating_duration_since(self.phase_since);
+        self.current_phase = next;
+        self.phase_since = now;
     }
 }
 
@@ -85,10 +108,14 @@ impl TaskTracker {
         TaskTracker::default()
     }
 
-    /// Register a new running task.
+    /// Register a new running task. The phase ledger opens in
+    /// `queue_wait` at the same instant `started_at` is stamped, so the
+    /// decomposition covers the full tracker window from nanosecond
+    /// zero.
     pub fn task_started(&self, id: &str, deadline: Option<Instant>) {
         self.running.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock();
+        let now = Instant::now();
         st.insert(
             id.to_string(),
             TaskRecord {
@@ -96,11 +123,27 @@ impl TaskTracker {
                 status: TaskStatus::Running,
                 fibers_created: 0,
                 fibers_finished: 0,
-                started_at: Instant::now(),
+                started_at: now,
                 finished_at: None,
                 deadline,
+                phases: PhaseBreakdown::default(),
+                current_phase: Some(Phase::QueueWait),
+                phase_since: now,
             },
         );
+    }
+
+    /// Flip a task's ledger into `phase`: bank the open phase's time
+    /// and start accumulating under the new label. Called by the
+    /// engine on its own transitions (serialize, VM entry, suspension)
+    /// and by the broker via the cluster's phase observer (durability
+    /// parks, lease expiries, requeues). No-op for unknown or final
+    /// tasks.
+    pub fn note_phase(&self, task_id: &str, phase: Phase) {
+        let mut st = self.state.lock();
+        if let Some(rec) = st.get_mut(task_id) {
+            rec.roll_phase(Some(phase), Instant::now());
+        }
     }
 
     /// Record fiber creation.
@@ -129,6 +172,10 @@ impl TaskTracker {
         if let Some(rec) = st.get_mut(task_id) {
             if !rec.status.is_final() {
                 let now = Instant::now();
+                // Close the ledger with the same instant the duration
+                // uses: the phase durations telescope to exactly the
+                // latency observation.
+                rec.roll_phase(None, now);
                 rec.status = status;
                 rec.finished_at = Some(now);
                 duration = Some(now.duration_since(rec.started_at));
@@ -244,6 +291,52 @@ mod tests {
         assert_eq!(t.running_count(), 1);
         assert!(t.finish("unknown", TaskStatus::Completed(Value::Nil)).is_none());
         assert_eq!(t.running_count(), 1);
+    }
+
+    /// The headline invariant: the phase durations of a finished task
+    /// sum to *exactly* its measured latency — not "within tolerance",
+    /// exactly, because every ledger roll chains the same instants.
+    #[test]
+    fn phase_ledger_sums_exactly_to_duration() {
+        let t = TaskTracker::new();
+        t.task_started("t1", None);
+        t.note_phase("t1", Phase::Deserialize);
+        t.note_phase("t1", Phase::VmExec);
+        std::thread::sleep(Duration::from_millis(2));
+        t.note_phase("t1", Phase::ServiceWait);
+        t.note_phase("t1", Phase::VmExec);
+        let d = t.finish("t1", TaskStatus::Completed(Value::Nil)).unwrap();
+        let rec = t.get("t1").unwrap();
+        assert_eq!(rec.phases.total(), d);
+        assert_eq!(rec.current_phase, None);
+        assert!(rec.phases.get(Phase::VmExec) >= Duration::from_millis(2));
+        // Every banked phase was visited; admission never is (it lives
+        // outside the tracker window).
+        assert_eq!(rec.phases.get(Phase::Admission), Duration::ZERO);
+        // The ledger is closed: later flips change nothing.
+        t.note_phase("t1", Phase::QueueWait);
+        assert_eq!(t.get("t1").unwrap().phases.total(), d);
+    }
+
+    #[test]
+    fn phase_ledger_opens_in_queue_wait() {
+        let t = TaskTracker::new();
+        t.task_started("t1", None);
+        let rec = t.get("t1").unwrap();
+        assert_eq!(rec.current_phase, Some(Phase::QueueWait));
+        assert_eq!(rec.phase_since, rec.started_at);
+        // A task that never left the queue attributes everything there.
+        std::thread::sleep(Duration::from_millis(1));
+        let d = t.finish("t1", TaskStatus::Failed(Condition::error("x"))).unwrap();
+        let rec = t.get("t1").unwrap();
+        assert_eq!(rec.phases.get(Phase::QueueWait), d);
+    }
+
+    #[test]
+    fn note_phase_on_unknown_task_is_noop() {
+        let t = TaskTracker::new();
+        t.note_phase("ghost", Phase::VmExec);
+        assert!(t.get("ghost").is_none());
     }
 
     #[test]

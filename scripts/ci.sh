@@ -40,6 +40,11 @@ run make obs-check
 # a consistent hot-function report and well-formed folded stacks.
 run make profile-check
 
+# Introspection gate: the live HTTP endpoint must serve /metrics
+# (byte-identical to the in-process exporter), /healthz, /tasks, and
+# /timeline/<task> with well-formed payloads.
+run make introspect-check
+
 # Bench smoke: run the serialization and cache benches with shrunk
 # populations (BENCH_SMOKE=1) and validate the JSON report shape — the
 # same reports committed at the repo root as BENCH_*.json baselines.

@@ -1,0 +1,49 @@
+#!/bin/sh
+# introspect-check: boot a deployment with the live introspection server
+# on an ephemeral port, run a workflow, and fetch /metrics, /healthz,
+# /tasks, and /timeline/<task> over a plain TCP connection — the same
+# path an external Prometheus scrape or curl takes. The driver binary
+# (gozer-introspect-check) does the HTTP legwork and asserts the scraped
+# /metrics body is byte-identical to the in-process exporter; this
+# script shape-checks every route's payload.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CARGO="${CARGO:-cargo}"
+OFFLINE="${CARGO_OFFLINE:---offline}"
+
+OUT=$("$CARGO" run -q $OFFLINE -p gozer --bin gozer-introspect-check)
+
+fail=0
+check() {
+    # check <label> <grep-pattern>
+    if printf '%s\n' "$OUT" | grep -q "$2"; then
+        echo "introspect-check: ok   $1"
+    else
+        echo "introspect-check: FAIL — $1 (no match for '$2')"
+        fail=1
+    fi
+}
+
+check "healthz served"         '^== /healthz HTTP/1.1 200 OK$'
+check "healthz verdict"        '^ok$'
+check "healthz reaper signal"  '^reaper: alive$'
+check "healthz instances"      '^instances: 4/4$'
+check "tasks served"           '^== /tasks HTTP/1.1 200 OK$'
+check "tasks row final"        '^task-1 completed - fibers='
+check "timeline served"        '^== /timeline/task-1 HTTP/1.1 200 OK$'
+check "timeline header"        '^task task-1$'
+check "timeline critical path" '^  critical path:$'
+check "timeline totals"        '^  critical totals: '
+check "metrics byte-identity"  '^== /metrics byte-identity MATCH$'
+check "phase family scraped"   '^# TYPE gozer_task_phase_seconds histogram$'
+check "phase samples recorded" '^gozer_task_phase_seconds_count{phase="vm_exec",service="workflow"} [1-9]'
+check "latency family scraped" '^gozer_task_latency_seconds_count{service="workflow"} [1-9]'
+
+if [ "$fail" -ne 0 ]; then
+    echo "introspect-check: driver output follows for diagnosis" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+echo "introspect-check: OK"

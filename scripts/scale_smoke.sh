@@ -11,17 +11,29 @@ CARGO="${CARGO:-cargo}"
 OFFLINE="${CARGO_OFFLINE:---offline}"
 
 OUT="${TMPDIR:-/tmp}/gozer-scale-smoke.$$.json"
-trap 'rm -f "$OUT"' EXIT
+LAT="${TMPDIR:-/tmp}/gozer-latency-smoke.$$.json"
+trap 'rm -f "$OUT" "$LAT"' EXIT
 
 echo "+ scale bench (smoke)"
 env BENCH_SMOKE=1 "$CARGO" run --release $OFFLINE -q -p gozer-bench \
-    --bin scale -- --json "$OUT"
+    --bin scale -- --json "$OUT" --latency-json "$LAT"
 
 for key in '"suspended_fibers_peak"' '"suspended_fibers_during_churn"' \
            '"starts_per_min"' '"p50"' '"p95"' '"p99"' \
            '"rejected"' '"delayed"' '"sampled"' '"completed"'; do
     grep -q "$key" "$OUT" \
         || { echo "scale-smoke: $key missing from scale report" >&2; exit 1; }
+done
+
+# The latency-attribution report: same shape as the committed
+# BENCH_latency.json baseline — the closed phase label set plus the
+# p99-per-phase fields and the phase/latency reconciliation ratio.
+for key in '"phase_coverage"' '"p99_ms"' '"total_seconds"' '"share"' \
+           '"queue_wait"' '"durability_hold"' '"lease_redelivery"' \
+           '"serialize"' '"deserialize"' '"vm_exec"' '"service_wait"' \
+           '"suspended"' '"admission"'; do
+    grep -q "$key" "$LAT" \
+        || { echo "scale-smoke: $key missing from latency report" >&2; exit 1; }
 done
 
 echo "scale-smoke: OK"
