@@ -4,7 +4,7 @@
 CARGO ?= cargo
 CHAOS_SEEDS ?= 16
 
-.PHONY: build test test-all test-chaos recovery-check obs-check profile-check introspect-check fuzz-smoke scale-smoke store-smoke bench ci
+.PHONY: build test test-all test-chaos recovery-check obs-check profile-check introspect-check fuzz-smoke scale-smoke store-smoke cluster-smoke bench ci
 
 build:
 	$(CARGO) build --release
@@ -71,6 +71,13 @@ scale-smoke:
 # sec5_production_day -- --json BENCH_store.json`.
 store-smoke:
 	sh scripts/store_smoke.sh
+
+# Multi-process transport gate: a broker process plus two real
+# gozer-worker OS processes over TCP, with one genuine `kill -9` and a
+# restart mid-stream. The trap in the script reaps orphaned workers.
+# The in-harness flavor (16-seed sweep) is `cargo test -p gozer-worker`.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 bench:
 	$(CARGO) bench --workspace

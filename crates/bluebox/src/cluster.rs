@@ -16,6 +16,7 @@ use crate::message::{Fault, Message, ReplyTo};
 use crate::metrics::Metrics;
 use crate::queue::{Policy, ServiceQueue};
 use crate::recovery::{DeadLetter, Lease, PendingReclaim, RecoveryConfig, RecoveryStats, RecoveryStatsSnapshot};
+use crate::transport::{InProcessTransport, Transport};
 
 pub use crate::chaos::FaultPoint;
 
@@ -79,14 +80,27 @@ struct ServiceEntry {
     handler: Arc<dyn Handler>,
 }
 
-struct InstanceControl {
-    stop: AtomicBool,
-    fault: Mutex<Option<FaultPoint>>,
-    busy: AtomicBool,
-    alive: AtomicBool,
-    /// Last queue interaction; the reaper treats a holder whose
-    /// heartbeat is older than the lease TTL as failed.
-    heartbeat: Mutex<Instant>,
+pub(crate) struct InstanceControl {
+    pub(crate) stop: AtomicBool,
+    pub(crate) fault: Mutex<Option<FaultPoint>>,
+    pub(crate) busy: AtomicBool,
+    pub(crate) alive: AtomicBool,
+    /// Last queue interaction (or, for remote proxy instances, last
+    /// heartbeat frame from the worker process); the reaper treats a
+    /// holder whose heartbeat is older than the lease TTL as failed.
+    pub(crate) heartbeat: Mutex<Instant>,
+}
+
+impl InstanceControl {
+    pub(crate) fn new() -> InstanceControl {
+        InstanceControl {
+            stop: AtomicBool::new(false),
+            fault: Mutex::new(None),
+            busy: AtomicBool::new(false),
+            alive: AtomicBool::new(true),
+            heartbeat: Mutex::new(Instant::now()),
+        }
+    }
 }
 
 struct InstanceHandle {
@@ -151,6 +165,10 @@ pub struct Cluster {
     held: Mutex<Vec<Message>>,
     held_total: AtomicU64,
     held_released: AtomicU64,
+    /// Where instances run: in-process threads (the deterministic
+    /// default) or proxies for remote worker processes. See
+    /// [`crate::transport`].
+    transport: RwLock<Arc<dyn Transport>>,
 }
 
 impl Cluster {
@@ -226,6 +244,7 @@ impl Cluster {
             held: Mutex::new(Vec::new()),
             held_total: AtomicU64::new(0),
             held_released: AtomicU64::new(0),
+            transport: RwLock::new(Arc::new(InProcessTransport)),
         });
         // Affinity delivery counters, summed across all service queues.
         let weak = Arc::downgrade(&cluster);
@@ -428,9 +447,29 @@ impl Cluster {
         self.services.read().get(service)?.desc.clone()
     }
 
-    /// Spawn `count` instances of `service` on `node_id`. Returns their
-    /// instance ids.
+    /// Install a transport (see [`crate::transport`]); subsequent
+    /// [`spawn_instances`](Self::spawn_instances) calls go through it.
+    /// Replaces the previous transport without tearing it down.
+    pub fn set_transport(&self, t: Arc<dyn Transport>) {
+        *self.transport.write() = t;
+    }
+
+    /// The installed transport.
+    pub fn transport(&self) -> Arc<dyn Transport> {
+        self.transport.read().clone()
+    }
+
+    /// Spawn `count` instances of `service` on `node_id` via the
+    /// installed transport. Returns their instance ids.
     pub fn spawn_instances(self: &Arc<Cluster>, service: &str, node_id: u32, count: usize) -> Vec<u64> {
+        let transport = self.transport();
+        transport.spawn_instances(self, service, node_id, count)
+    }
+
+    /// Spawn `count` in-process instance threads of `service` on
+    /// `node_id` — the [`InProcessTransport`] implementation, and the
+    /// path remote transports use for services that stay local.
+    pub(crate) fn spawn_local_instances(self: &Arc<Cluster>, service: &str, node_id: u32, count: usize) -> Vec<u64> {
         let handler = self
             .services
             .read()
@@ -472,6 +511,97 @@ impl Cluster {
         ids
     }
 
+    /// Register one *proxy* instance for a remote worker process: the
+    /// transport allocates the id and control here, then `spawn` starts
+    /// the proxy thread that pops the queue and forwards deliveries
+    /// over its connection. The handle joins the normal instance table,
+    /// so the lease reaper, `live_instances`, kill helpers, and
+    /// shutdown all treat remote capacity exactly like local threads.
+    pub(crate) fn register_remote_instance(
+        self: &Arc<Cluster>,
+        service: &str,
+        node_id: u32,
+        spawn: impl FnOnce(u64, Arc<InstanceControl>) -> JoinHandle<()>,
+    ) -> u64 {
+        let id = self.next_instance.fetch_add(1, Ordering::Relaxed);
+        let control = Arc::new(InstanceControl::new());
+        // Table entry first, thread second: a lease the new proxy
+        // inserts must always find its holder registered, or a reaper
+        // scan in the gap would reclaim it instantly as "dead holder".
+        self.instances.lock().push(InstanceHandle {
+            id,
+            node_id,
+            service: service.to_string(),
+            control: control.clone(),
+            thread: None,
+        });
+        let thread = spawn(id, control);
+        let mut instances = self.instances.lock();
+        if let Some(h) = instances.iter_mut().find(|h| h.id == id) {
+            h.thread = Some(thread);
+        }
+        id
+    }
+
+    /// The queue of a service (created on first touch).
+    pub(crate) fn service_queue(&self, service: &str) -> Arc<ServiceQueue> {
+        self.queue(service)
+    }
+
+    /// Record a lease: `msg` is in flight at `instance`.
+    pub(crate) fn insert_lease(&self, msg: &Message, service: &str, instance: u64) {
+        self.leases.lock().insert(
+            msg.id,
+            Lease {
+                msg: msg.clone(),
+                service: service.to_string(),
+                instance,
+            },
+        );
+    }
+
+    /// Claim the lease for settling. `true` means the caller owns the
+    /// completion — the reaper has *not* reclaimed the message — and
+    /// must route the reply and settle the queue. `false` means the
+    /// message was already reclaimed (and possibly redelivered); the
+    /// caller must drop its result, or the same delivery would take
+    /// effect twice.
+    pub(crate) fn take_lease(&self, msg_id: u64) -> bool {
+        self.leases.lock().remove(&msg_id).is_some()
+    }
+
+    /// Whether `msg_id`'s lease is still outstanding.
+    pub(crate) fn lease_held(&self, msg_id: u64) -> bool {
+        self.leases.lock().contains_key(&msg_id)
+    }
+
+    /// Delivery-side accounting shared by local instance loops and
+    /// remote proxies: metrics, queue-wait attribution, the
+    /// `MessageDelivered` event, and the transport observation hook.
+    pub(crate) fn note_delivered(&self, msg: &Message, node_id: u32, instance_id: u64) {
+        let metrics = &self.metrics;
+        // Pure queue wait: durability-hold time (stamped on release) is
+        // its own latency phase, not queue time.
+        let wait = (msg.enqueued_at.elapsed().as_nanos() as u64).saturating_sub(msg.held_nanos);
+        metrics.add(&metrics.delivered, 1);
+        metrics.add(&metrics.wait_nanos, wait);
+        metrics.add(&metrics.wait_count, 1);
+        self.hist_wait.observe_nanos(wait);
+        self.obs.bus.emit(
+            msg_event(
+                EventKind::MessageDelivered {
+                    service: msg.service.clone(),
+                    operation: msg.operation.clone(),
+                    wait_nanos: wait,
+                },
+                msg,
+            )
+            .node(node_id)
+            .instance(instance_id),
+        );
+        self.transport().on_deliver(msg);
+    }
+
     /// Fire-and-forget send.
     ///
     /// A message carrying a `hold_until` watermark gate is parked (not
@@ -491,6 +621,7 @@ impl Cluster {
             },
             &msg,
         ));
+        self.transport().on_send(&msg);
         if msg.hold_until > 0 {
             let probe = self.durability_probe.read().clone();
             if let Some(probe) = probe {
@@ -613,7 +744,8 @@ impl Cluster {
         }
     }
 
-    fn route_reply(&self, request: &Message, result: Result<Vec<u8>, Fault>) {
+    pub(crate) fn route_reply(&self, request: &Message, result: Result<Vec<u8>, Fault>) {
+        self.transport().on_reply(request);
         match &request.reply_to {
             ReplyTo::Nowhere => {
                 if result.is_err() {
@@ -1002,6 +1134,10 @@ impl Cluster {
         if let Some(t) = self.reaper.lock().take() {
             let _ = t.join();
         }
+        // Tear the transport down before taking the instances lock:
+        // connection threads register instances (which takes it), and
+        // remote proxy threads only exit once their connections die.
+        self.transport().shutdown();
         let mut instances = self.instances.lock();
         for h in instances.iter() {
             h.control.stop.store(true, Ordering::Relaxed);
@@ -1054,25 +1190,7 @@ fn instance_loop(
             },
         );
         let metrics = &cluster.metrics;
-        // Pure queue wait: durability-hold time (stamped on release) is
-        // its own latency phase, not queue time.
-        let wait = (msg.enqueued_at.elapsed().as_nanos() as u64).saturating_sub(msg.held_nanos);
-        metrics.add(&metrics.delivered, 1);
-        metrics.add(&metrics.wait_nanos, wait);
-        metrics.add(&metrics.wait_count, 1);
-        cluster.hist_wait.observe_nanos(wait);
-        cluster.obs.bus.emit(
-            msg_event(
-                EventKind::MessageDelivered {
-                    service: msg.service.clone(),
-                    operation: msg.operation.clone(),
-                    wait_nanos: wait,
-                },
-                &msg,
-            )
-            .node(ctx.node_id)
-            .instance(ctx.instance_id),
-        );
+        cluster.note_delivered(&msg, ctx.node_id, ctx.instance_id);
         // Seeded chaos: the plan decides this delivery's fate from the
         // message's stable key alone.
         let chaos = cluster.chaos_plan();

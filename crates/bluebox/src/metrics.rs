@@ -164,6 +164,80 @@ impl MetricsSnapshot {
     }
 }
 
+/// Counters of the TCP transport layer (see [`crate::tcp`]): framing
+/// traffic, connection churn, and the settle disambiguation outcomes
+/// the exactly-once tests assert on. Kept separate from [`Metrics`] —
+/// the in-process transport has nothing to report, and embedders
+/// snapshot the broker counters by value.
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    /// Frames written to sockets.
+    pub frames_sent: AtomicU64,
+    /// Frames successfully decoded off sockets.
+    pub frames_received: AtomicU64,
+    /// Bytes written to sockets (frame headers included).
+    pub bytes_sent: AtomicU64,
+    /// Frames that failed to decode (bad CRC, bad tag, oversized,
+    /// torn) — each one is connection-fatal.
+    pub decode_errors: AtomicU64,
+    /// Worker connections accepted (handshake completed).
+    pub worker_connects: AtomicU64,
+    /// Worker connections lost or closed.
+    pub worker_disconnects: AtomicU64,
+    /// Deliveries forwarded to remote workers.
+    pub remote_deliveries: AtomicU64,
+    /// Settles applied (the proxy still owned the lease).
+    pub remote_settles: AtomicU64,
+    /// Settles discarded because the lease was already reclaimed or
+    /// the delivery superseded — the double-effect guard firing.
+    pub duplicate_settles: AtomicU64,
+    /// Heartbeat frames received from workers.
+    pub heartbeats: AtomicU64,
+}
+
+impl TransportMetrics {
+    /// Point-in-time copy for reporting.
+    pub fn snapshot(&self) -> TransportMetricsSnapshot {
+        TransportMetricsSnapshot {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            worker_connects: self.worker_connects.load(Ordering::Relaxed),
+            worker_disconnects: self.worker_disconnects.load(Ordering::Relaxed),
+            remote_deliveries: self.remote_deliveries.load(Ordering::Relaxed),
+            remote_settles: self.remote_settles.load(Ordering::Relaxed),
+            duplicate_settles: self.duplicate_settles.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copied-out view of [`TransportMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportMetricsSnapshot {
+    /// See [`TransportMetrics::frames_sent`].
+    pub frames_sent: u64,
+    /// See [`TransportMetrics::frames_received`].
+    pub frames_received: u64,
+    /// See [`TransportMetrics::bytes_sent`].
+    pub bytes_sent: u64,
+    /// See [`TransportMetrics::decode_errors`].
+    pub decode_errors: u64,
+    /// See [`TransportMetrics::worker_connects`].
+    pub worker_connects: u64,
+    /// See [`TransportMetrics::worker_disconnects`].
+    pub worker_disconnects: u64,
+    /// See [`TransportMetrics::remote_deliveries`].
+    pub remote_deliveries: u64,
+    /// See [`TransportMetrics::remote_settles`].
+    pub remote_settles: u64,
+    /// See [`TransportMetrics::duplicate_settles`].
+    pub duplicate_settles: u64,
+    /// See [`TransportMetrics::heartbeats`].
+    pub heartbeats: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,15 +17,23 @@
 //!   critical path included (404 when unknown or tracing is off).
 //!
 //! The server is deliberately minimal: one accept loop thread, one
-//! request per connection (`Connection: close`), no TLS, no keep-alive
-//! — it serves curl and Prometheus scrapes, not browsers.
+//! short-lived thread and one request per connection
+//! (`Connection: close`), no TLS, no keep-alive — it serves curl and
+//! Prometheus scrapes, not browsers. Concurrent connections are capped
+//! ([`DEFAULT_MAX_CONNS`], tunable via
+//! [`IntrospectServer::start_with_limit`]); overflow is answered with
+//! an immediate `503` instead of an unbounded thread pile-up, so a
+//! misbehaving scraper cannot exhaust the node it is observing.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Concurrent-connection cap used by [`IntrospectServer::start`].
+pub const DEFAULT_MAX_CONNS: usize = 32;
 
 /// One liveness report, rendered by `/healthz`.
 #[derive(Debug, Clone)]
@@ -83,27 +91,44 @@ pub trait IntrospectSource: Send + Sync {
 pub struct IntrospectServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl IntrospectServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start serving `source`. Returns the bound address — with port 0
-    /// the one the OS picked.
+    /// start serving `source` with the [`DEFAULT_MAX_CONNS`] cap.
+    /// Returns the bound address — with port 0 the one the OS picked.
     pub fn start(
         addr: &str,
         source: Arc<dyn IntrospectSource>,
     ) -> std::io::Result<IntrospectServer> {
+        IntrospectServer::start_with_limit(addr, source, DEFAULT_MAX_CONNS)
+    }
+
+    /// [`start`](IntrospectServer::start) with an explicit cap on
+    /// concurrent connections. The `max_conns + 1`-th simultaneous
+    /// client is answered `503 Service Unavailable` and closed without
+    /// touching the source.
+    pub fn start_with_limit(
+        addr: &str,
+        source: Arc<dyn IntrospectSource>,
+        max_conns: usize,
+    ) -> std::io::Result<IntrospectServer> {
         let listener = TcpListener::bind(addr)?;
         let bound = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
         let stop2 = stop.clone();
+        let active2 = active.clone();
+        let max_conns = max_conns.max(1);
         let handle = std::thread::Builder::new()
             .name("gozer-introspect".into())
-            .spawn(move || accept_loop(listener, source, stop2))?;
+            .spawn(move || accept_loop(listener, source, stop2, active2, max_conns))?;
         Ok(IntrospectServer {
             addr: bound,
             stop,
+            active,
             handle: Some(handle),
         })
     }
@@ -111,6 +136,11 @@ impl IntrospectServer {
     /// The address the server is actually listening on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connections currently being served (excludes rejected overflow).
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
     }
 
     /// Stop the accept loop and join its thread (idempotent).
@@ -130,17 +160,58 @@ impl Drop for IntrospectServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, source: Arc<dyn IntrospectSource>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    source: Arc<dyn IntrospectSource>,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    max_conns: usize,
+) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = conn else { continue };
-        // Requests are tiny and local; serve inline with short
-        // timeouts so one stuck client cannot wedge the loop forever.
+        let Ok(mut stream) = conn else { continue };
+        // Requests are tiny and local; short timeouts so a stuck client
+        // cannot hold its slot forever.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = serve_one(stream, source.as_ref());
+        // Claim a slot before spawning; overflow is turned away at the
+        // door with a 503 rather than queued behind slow scrapes.
+        if active.fetch_add(1, Ordering::SeqCst) >= max_conns {
+            active.fetch_sub(1, Ordering::SeqCst);
+            // Drain the request head (briefly) before responding:
+            // closing with unread data in the buffer would RST the
+            // client instead of delivering the 503.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+            let _ = read_request_path(&mut stream);
+            let body = "busy: connection limit reached\n";
+            let _ = stream.write_all(
+                format!(
+                    "HTTP/1.1 503 Service Unavailable\r\n\
+                     Content-Type: text/plain; charset=utf-8\r\n\
+                     Content-Length: {}\r\n\
+                     Connection: close\r\n\
+                     \r\n{body}",
+                    body.len(),
+                )
+                .as_bytes(),
+            );
+            continue;
+        }
+        let source = source.clone();
+        let slot = active.clone();
+        let spawned = std::thread::Builder::new()
+            .name("gozer-introspect-conn".into())
+            .spawn(move || {
+                let _ = serve_one(stream, source.as_ref());
+                slot.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // Thread spawn failed (resource pressure): give the slot
+            // back; the client sees a closed connection.
+            active.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
@@ -292,6 +363,36 @@ mod tests {
         server.shutdown();
         // The port is released: connects now fail (or are refused fast).
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err());
+    }
+
+    #[test]
+    fn overflow_connections_get_503_without_touching_the_source() {
+        let server = IntrospectServer::start_with_limit("127.0.0.1:0", Arc::new(Fixed), 1).unwrap();
+        let addr = server.addr();
+
+        // Occupy the single slot with a connection that sends nothing:
+        // its serve thread parks in read(), holding the slot.
+        let holder = TcpStream::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.active_connections() < 1 {
+            assert!(std::time::Instant::now() < deadline, "holder never got a slot");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // The next client is turned away at the door.
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 503 Service Unavailable");
+        assert!(body.contains("busy"));
+
+        // The holder still owns a live, working slot.
+        drop(holder);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.active_connections() > 0 {
+            assert!(std::time::Instant::now() < deadline, "slot never released");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (status, _) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
+use bluebox::tcp::{TcpBroker, TcpBrokerConfig};
 use bluebox::{Cluster, Fault, Message, ServiceCtx};
 use gozer_compress::Codec;
 use gozer_lang::Value;
@@ -269,6 +270,10 @@ pub(crate) struct Inner {
     /// ([`WorkflowServiceBuilder::introspect`]). Held so its accept loop
     /// lives exactly as long as the deployment.
     introspect: Mutex<Option<IntrospectServer>>,
+    /// The TCP transport listener, when the deployment asked for one
+    /// ([`WorkflowServiceBuilder::tcp_listen`]): remote worker
+    /// processes connect here to register compute capacity.
+    tcp: Mutex<Option<Arc<TcpBroker>>>,
     nodes: RwLock<HashMap<u32, Arc<NodeRuntime>>>,
     hot: RwLock<HashMap<String, FiberHot>>,
     next_task: AtomicU64,
@@ -296,6 +301,7 @@ pub struct WorkflowServiceBuilder {
     config: VinzConfig,
     instances: Vec<(u32, usize)>,
     introspect_addr: Option<String>,
+    tcp_listen_addr: Option<String>,
 }
 
 impl WorkflowServiceBuilder {
@@ -349,6 +355,18 @@ impl WorkflowServiceBuilder {
         self
     }
 
+    /// Listen for remote worker processes on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port). The deployment starts a
+    /// [`TcpBroker`] during [`WorkflowServiceBuilder::deploy`] — a bind
+    /// failure fails the deploy — and the bound address is available
+    /// from [`WorkflowService::tcp_addr`] to hand to `gozer-worker`
+    /// processes. The workflow service's own instances stay in-process;
+    /// only capacity registered by connecting workers is remote.
+    pub fn tcp_listen(mut self, addr: &str) -> Self {
+        self.tcp_listen_addr = Some(addr.to_string());
+        self
+    }
+
     /// Compile the source, register the service on the cluster, and
     /// spawn any requested instances.
     ///
@@ -393,6 +411,7 @@ impl WorkflowServiceBuilder {
             task_latency,
             phase_hists,
             introspect: Mutex::new(None),
+            tcp: Mutex::new(None),
             nodes: RwLock::new(HashMap::new()),
             hot: RwLock::new(HashMap::new()),
             next_task: AtomicU64::new(1),
@@ -451,6 +470,14 @@ impl WorkflowServiceBuilder {
         // message was quarantined will never finish on its own.
         supervisor::install_dead_letter_observer(&inner);
         let service = WorkflowService { inner };
+        // The transport goes up before any instances: local spawns
+        // route through it, and workers may connect the moment the
+        // address is visible.
+        if let Some(addr) = &self.tcp_listen_addr {
+            let broker = TcpBroker::start(&service.inner.cluster, addr, TcpBrokerConfig::default())
+                .map_err(|e| VinzError(format!("tcp listen {addr}: {e}")))?;
+            *service.inner.tcp.lock() = Some(broker);
+        }
         for (node_id, count) in self.instances {
             service.spawn_instances(node_id, count);
         }
@@ -479,6 +506,7 @@ impl WorkflowService {
             config: VinzConfig::default(),
             instances: Vec::new(),
             introspect_addr: None,
+            tcp_listen_addr: None,
         }
     }
 
@@ -684,6 +712,17 @@ impl WorkflowService {
     /// deployment enabled one ([`WorkflowServiceBuilder::introspect`]).
     pub fn introspect_addr(&self) -> Option<std::net::SocketAddr> {
         self.inner.introspect.lock().as_ref().map(|s| s.addr())
+    }
+
+    /// Where the TCP transport listens for worker processes, when the
+    /// deployment enabled one ([`WorkflowServiceBuilder::tcp_listen`]).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner.tcp.lock().as_ref().map(|b| b.addr())
+    }
+
+    /// The deployment's TCP transport broker, if one is listening.
+    pub fn tcp_broker(&self) -> Option<Arc<TcpBroker>> {
+        self.inner.tcp.lock().clone()
     }
 }
 
@@ -936,27 +975,38 @@ impl IntrospectSource for VinzIntrospect {
         let reaper = inner.cluster.reaper_alive();
         let (alive, total) = inner.cluster.instance_counts();
         let shutdown = inner.cluster.is_shutdown();
-        let healthy = reaper && !shutdown && (total == 0 || alive > 0);
-        HealthReport {
-            healthy,
-            details: vec![
-                ("reaper".into(), if reaper { "alive" } else { "dead" }.into()),
-                ("instances".into(), format!("{alive}/{total}")),
-                (
-                    "supervisor".into(),
-                    if inner.config.supervision.enabled {
-                        "enabled"
-                    } else {
-                        "disabled"
-                    }
-                    .into(),
+        let transport = inner.cluster.transport();
+        let transport_up = transport.alive();
+        let healthy = reaper && !shutdown && transport_up && (total == 0 || alive > 0);
+        let mut details = vec![
+            ("reaper".into(), if reaper { "alive" } else { "dead" }.into()),
+            ("instances".into(), format!("{alive}/{total}")),
+            (
+                "supervisor".into(),
+                if inner.config.supervision.enabled {
+                    "enabled"
+                } else {
+                    "disabled"
+                }
+                .into(),
+            ),
+            (
+                "transport".into(),
+                format!(
+                    "{} ({})",
+                    transport.name(),
+                    if transport_up { "up" } else { "down" }
                 ),
-                (
-                    "cluster".into(),
-                    if shutdown { "shutdown" } else { "up" }.into(),
-                ),
-            ],
+            ),
+            (
+                "cluster".into(),
+                if shutdown { "shutdown" } else { "up" }.into(),
+            ),
+        ];
+        if let Some(broker) = inner.tcp.lock().as_ref() {
+            details.push(("workers".into(), broker.live_connections().to_string()));
         }
+        HealthReport { healthy, details }
     }
 
     fn tasks(&self) -> Vec<TaskSummary> {

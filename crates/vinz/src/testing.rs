@@ -75,6 +75,49 @@ pub fn register_square_service(
     }
 }
 
+/// Register a service that exists on this cluster only as an interface
+/// document plus a queue — its compute capacity is expected from
+/// *remote worker processes* over the TCP transport. `deflink` resolves
+/// the description as usual; the placeholder handler faults loudly if a
+/// message is ever delivered to a locally spawned instance (none should
+/// exist — spawn none, let workers register).
+pub fn register_remote_service_desc(
+    cluster: &Arc<Cluster>,
+    name: &str,
+    desc: ServiceDescription,
+) {
+    let service = name.to_string();
+    cluster.register_service(
+        name,
+        Some(desc),
+        Arc::new(move |_ctx: &ServiceCtx, _msg: &Message| -> Result<Vec<u8>, Fault> {
+            Err(Fault::new(
+                "{vinz}RemoteOnly",
+                format!("service {service} is served by remote workers; no local instances expected"),
+            ))
+        }),
+    );
+}
+
+/// The seeds a multi-process cluster sweep runs; same contract as
+/// [`chaos_seeds`] but on its own `CLUSTER_SEED` / `CLUSTER_SEEDS`
+/// knobs (and base), so process-kill sweeps are tuned independently of
+/// the in-process chaos suites.
+pub fn cluster_seeds(default_count: u64) -> Vec<u64> {
+    const BASE: u64 = 0xC1_05_7E_00;
+    if let Some(seed) = std::env::var("CLUSTER_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+    {
+        return vec![seed];
+    }
+    let count = std::env::var("CLUSTER_SEEDS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default_count);
+    (0..count).map(|i| BASE + i).collect()
+}
+
 /// The seeds a chaos sweep runs.
 ///
 /// * `CHAOS_SEED=<n>` — run exactly that seed (the replay knob printed

@@ -1,0 +1,160 @@
+//! Broker-side driver for `make cluster-smoke`: deploys a workflow
+//! service with a TCP listener, publishes the bound address to a file,
+//! waits for externally launched `gozer-worker` processes to join, and
+//! then runs a staggered stream of remote-call tasks — slow enough that
+//! the shell script can `kill -9` a worker mid-stream and restart it.
+//! Exits 0 only if every task completed with the exact expected value.
+//!
+//! ```text
+//! cluster-smoke --addr-file /tmp/addr --workers 2 --tasks 40 \
+//!               --spin-ms 25 --stagger-ms 50
+//! ```
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use bluebox::Cluster;
+use gozer_lang::Value;
+use gozer_xml::ServiceDescription;
+use vinz::testing::register_remote_service_desc;
+use vinz::{TaskStatus, WorkflowService};
+
+const WF: &str = "
+(deflink CP :wsdl \"urn:compute\" :port \"Compute\")
+(defun main (n spin) (CP-Work-Method :n n :spin_ms spin))
+";
+
+fn main() -> ExitCode {
+    let mut addr_file = None;
+    let mut workers = 2usize;
+    let mut tasks = 40i64;
+    let mut spin_ms = 25i64;
+    let mut stagger_ms = 50u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let Some(value) = args.next() else {
+            eprintln!("cluster-smoke: {arg} needs a value");
+            return ExitCode::from(2);
+        };
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--addr-file" => {
+                addr_file = Some(value);
+                Ok(())
+            }
+            "--workers" => value.parse().map(|v| workers = v).map_err(|e| format!("{e}")),
+            "--tasks" => value.parse().map(|v| tasks = v).map_err(|e| format!("{e}")),
+            "--spin-ms" => value.parse().map(|v| spin_ms = v).map_err(|e| format!("{e}")),
+            "--stagger-ms" => value.parse().map(|v| stagger_ms = v).map_err(|e| format!("{e}")),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("cluster-smoke: {arg}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let Some(addr_file) = addr_file else {
+        eprintln!("cluster-smoke: --addr-file is required");
+        return ExitCode::from(2);
+    };
+
+    let cluster = Cluster::new();
+    cluster.set_recovery(bluebox::RecoveryConfig {
+        lease_ttl: Duration::from_millis(800),
+        scan_interval: Duration::from_millis(5),
+        redelivery_budget: 32,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(50),
+    });
+    register_remote_service_desc(
+        &cluster,
+        "Compute",
+        ServiceDescription::new("Compute", "urn:compute").operation(
+            "Work",
+            "Busy-works for spin_ms milliseconds, then squares n.",
+            &[("n", "int"), ("spin_ms", "int")],
+        ),
+    );
+    let wf = match WorkflowService::builder(&cluster, "workflow")
+        .source(WF)
+        .instances(0, 2)
+        .instances(1, 2)
+        .tcp_listen("127.0.0.1:0")
+        .deploy()
+    {
+        Ok(wf) => wf,
+        Err(e) => {
+            eprintln!("cluster-smoke: deploy failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let broker = wf.tcp_broker().expect("tcp_listen implies a broker");
+    let addr = wf.tcp_addr().expect("bound address");
+
+    // Publish the address via rename so readers never see a half write.
+    let tmp = format!("{addr_file}.tmp");
+    if let Err(e) = std::fs::write(&tmp, addr.to_string()).and_then(|_| std::fs::rename(&tmp, &addr_file)) {
+        eprintln!("cluster-smoke: writing {addr_file}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("cluster-smoke: listening on {addr}, waiting for {workers} worker(s)");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while broker.live_connections() < workers {
+        if Instant::now() > deadline {
+            eprintln!(
+                "cluster-smoke: only {}/{workers} workers joined within 30s",
+                broker.live_connections()
+            );
+            return ExitCode::FAILURE;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    eprintln!("cluster-smoke: fleet up ({:?}), starting {tasks} tasks", broker.connected_workers());
+
+    // Stagger the starts so the remote-call stream stays live long
+    // enough for the script's kill -9 + restart to land mid-stream.
+    let mut started = Vec::new();
+    for n in 0..tasks {
+        match wf.start("main", vec![Value::Int(n), Value::Int(spin_ms)], None) {
+            Ok(task) => started.push((task, n * n)),
+            Err(e) => {
+                eprintln!("cluster-smoke: start task {n}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(stagger_ms));
+    }
+
+    let mut failed = 0;
+    for (task, expected) in &started {
+        match wf.wait(task, Duration::from_secs(60)).map(|r| r.status) {
+            Some(TaskStatus::Completed(v)) if v == Value::Int(*expected) => {}
+            other => {
+                eprintln!("cluster-smoke: task {task}: {other:?}, want Completed({expected})");
+                failed += 1;
+            }
+        }
+    }
+
+    let tm = broker.transport_metrics().snapshot();
+    let recovery = cluster.recovery_stats();
+    let verdict = if failed == 0 { "ok" } else { "FAILED" };
+    // The script greps this line; keep it stable.
+    println!(
+        "RESULT {verdict} tasks={} settles={} redeliveries={} reclaims={} disconnects={} dup_settles={}",
+        started.len(),
+        tm.remote_settles,
+        tm.remote_deliveries.saturating_sub(tm.remote_settles),
+        recovery.reclaims,
+        tm.worker_disconnects,
+        tm.duplicate_settles,
+    );
+    // Send Bye to workers so cleanly surviving processes exit 0.
+    cluster.shutdown();
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

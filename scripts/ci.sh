@@ -81,4 +81,10 @@ run make scale-smoke
 # the fsync-amortization assertion.
 run make store-smoke
 
+# Multi-process transport gate: real gozer-worker OS processes over the
+# TCP transport, one genuine kill -9 + restart mid-stream, exact values
+# required. cluster_smoke.sh traps EXIT/INT/TERM and reaps any orphaned
+# worker processes, so a failed gate cannot leak children into CI.
+run make cluster-smoke
+
 echo "ci: OK (chaos sweep width $CHAOS_SEEDS)"

@@ -1,0 +1,99 @@
+#!/bin/sh
+# Multi-process cluster smoke: boot a broker (vinz deployment with a TCP
+# listener), attach two real gozer-worker OS processes, stream remote
+# calls through them, `kill -9` one worker mid-stream, restart it, and
+# require every task to finish with the exact value. The one gate that
+# exercises the transport with genuine process death outside the cargo
+# test harness.
+#
+# Orphan safety: every spawned pid is reaped by the EXIT/INT/TERM trap,
+# and a final pattern sweep catches workers whose pids we lost track of.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CARGO="${CARGO:-cargo}"
+OFFLINE="${CARGO_OFFLINE:---offline}"
+
+echo "+ $CARGO build --release $OFFLINE -p gozer-worker"
+"$CARGO" build --release $OFFLINE -p gozer-worker
+
+WORKER=target/release/gozer-worker
+DRIVER=target/release/cluster-smoke
+TMP="${TMPDIR:-/tmp}/gozer-cluster-smoke.$$"
+mkdir -p "$TMP"
+
+W0_PID=""
+W1_PID=""
+DRIVER_PID=""
+
+cleanup() {
+    # Reap everything we started, then sweep for orphans by pattern
+    # (workers reconnect forever if the broker died first; never leak
+    # them past the gate).
+    for pid in "$W0_PID" "$W1_PID" "$DRIVER_PID"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    pkill -9 -f "gozer-worker --broker" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+# Broker side: publishes its ephemeral address, waits for the fleet,
+# then streams 40 staggered tasks (~2s of live remote traffic).
+"$DRIVER" --addr-file "$TMP/addr" --workers 2 --tasks 40 \
+    --spin-ms 25 --stagger-ms 50 > "$TMP/driver.out" 2>"$TMP/driver.err" &
+DRIVER_PID=$!
+
+# Wait for the broker to publish its address.
+i=0
+while [ ! -s "$TMP/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "cluster-smoke: broker never published its address" >&2
+        cat "$TMP/driver.err" >&2 || true
+        exit 1
+    fi
+    kill -0 "$DRIVER_PID" 2>/dev/null || {
+        echo "cluster-smoke: broker exited before publishing its address" >&2
+        cat "$TMP/driver.err" >&2 || true
+        exit 1
+    }
+    sleep 0.1
+done
+ADDR="$(cat "$TMP/addr")"
+echo "cluster-smoke: broker at $ADDR"
+
+"$WORKER" --broker "$ADDR" --name s0 --node 100 --service Compute:2 --seed 1 &
+W0_PID=$!
+"$WORKER" --broker "$ADDR" --name s1 --node 101 --service Compute:2 --seed 2 &
+W1_PID=$!
+
+# Let the stream get going, then kill -9 a worker mid-stream — no
+# signal handler, no flush — and restart it a moment later.
+sleep 1
+echo "cluster-smoke: kill -9 worker s0 (pid $W0_PID)"
+kill -9 "$W0_PID"
+wait "$W0_PID" 2>/dev/null || true
+W0_PID=""
+sleep 0.3
+"$WORKER" --broker "$ADDR" --name s0 --node 100 --service Compute:2 --seed 3 &
+W0_PID=$!
+echo "cluster-smoke: restarted worker s0 (pid $W0_PID)"
+
+# The driver's exit code is the verdict; RESULT line is the receipt.
+STATUS=0
+wait "$DRIVER_PID" || STATUS=$?
+DRIVER_PID=""
+cat "$TMP/driver.out"
+if [ "$STATUS" -ne 0 ]; then
+    echo "cluster-smoke: FAILED (driver exit $STATUS)" >&2
+    cat "$TMP/driver.err" >&2 || true
+    exit 1
+fi
+grep -q "^RESULT ok" "$TMP/driver.out" || {
+    echo "cluster-smoke: FAILED (no RESULT ok line)" >&2
+    exit 1
+}
+
+echo "cluster-smoke: OK (one kill -9 + restart survived)"
