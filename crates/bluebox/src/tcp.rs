@@ -44,7 +44,7 @@ use crate::message::{Fault, Message};
 use crate::metrics::TransportMetrics;
 use crate::transport::Transport;
 use crate::wire::{
-    encode_frame, read_frame, FrameError, SettleBody, WireMsg, WirePayload,
+    encode_frame, FrameError, FrameReader, SettleBody, WireMsg, WirePayload,
 };
 
 // ---- shared helpers ---------------------------------------------------
@@ -155,8 +155,14 @@ impl Conn {
             return false;
         }
         let frame = encode_frame(msg);
-        let mut stream = self.stream.lock();
-        match stream.write_all(&frame).and_then(|_| stream.flush()) {
+        // The guard must be dropped before `mark_dead`, which re-locks
+        // `self.stream` to shut the socket down — holding it across the
+        // error arm would self-deadlock on the first failed write.
+        let res = {
+            let mut stream = self.stream.lock();
+            stream.write_all(&frame).and_then(|_| stream.flush())
+        };
+        match res {
             Ok(()) => {
                 self.tm.frames_sent.fetch_add(1, Ordering::Relaxed);
                 self.tm
@@ -329,7 +335,12 @@ fn accept_loop(broker: Arc<TcpBroker>, listener: TcpListener) {
             .name("bb-tcp-conn".into())
             .spawn(move || conn_loop(conn_broker, stream))
             .expect("spawn tcp conn thread");
-        broker.conn_threads.lock().push(thread);
+        // Reap completed connection threads on each accept so a
+        // long-lived broker with churning workers does not accumulate
+        // dead JoinHandles without bound.
+        let mut threads = broker.conn_threads.lock();
+        threads.retain(|t| !t.is_finished());
+        threads.push(thread);
     }
 }
 
@@ -339,9 +350,12 @@ fn conn_loop(broker: Arc<TcpBroker>, mut stream: TcpStream) {
     let tm = broker.tmetrics.clone();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(broker.cfg.liveness_timeout));
+    // Timeout-safe framing: a read timeout mid-frame (large Delivery,
+    // stalled worker) must not desynchronise the byte stream.
+    let mut reader = FrameReader::new();
     // Handshake: Hello in, HelloAck out. Anything else is not a worker.
     let (worker, node) = loop {
-        match read_frame(&mut stream) {
+        match reader.read_frame(&mut stream) {
             Ok(WireMsg::Hello { worker, node }) => {
                 tm.frames_received.fetch_add(1, Ordering::Relaxed);
                 break (worker, node);
@@ -386,7 +400,7 @@ fn conn_loop(broker: Arc<TcpBroker>, mut stream: TcpStream) {
         if broker.closing() || conn.dead.load(Ordering::Relaxed) {
             break;
         }
-        let msg = match read_frame(&mut stream) {
+        let msg = match reader.read_frame(&mut stream) {
             Ok(msg) => {
                 tm.frames_received.fetch_add(1, Ordering::Relaxed);
                 msg
@@ -642,8 +656,12 @@ impl WorkerSession {
             return false;
         }
         let frame = encode_frame(msg);
-        let mut stream = self.stream.lock();
-        if stream.write_all(&frame).and_then(|_| stream.flush()).is_err() {
+        // Guard dropped before `kill`, which re-locks `self.stream`.
+        let res = {
+            let mut stream = self.stream.lock();
+            stream.write_all(&frame).and_then(|_| stream.flush())
+        };
+        if res.is_err() {
             self.kill();
             return false;
         }
@@ -878,9 +896,13 @@ fn run_session(
             node: config.node,
         },
     )?;
+    // Timeout-safe framing: the 100ms read timeout routinely fires
+    // mid-frame under load; partial bytes must be preserved across
+    // ticks or the stream desynchronises.
+    let mut reader = FrameReader::new();
     // Await HelloAck (tolerating read-timeout ticks).
     let heartbeat_ms = loop {
-        match read_frame(&mut stream) {
+        match reader.read_frame(&mut stream) {
             Ok(WireMsg::HelloAck { heartbeat_ms }) => break heartbeat_ms,
             Err(e) if is_read_timeout(&e) => {
                 if stop.load(Ordering::Relaxed) {
@@ -935,7 +957,7 @@ fn run_session(
         if session.dead.load(Ordering::Relaxed) {
             break SessionEnd::Lost;
         }
-        match read_frame(&mut stream) {
+        match reader.read_frame(&mut stream) {
             Ok(WireMsg::Delivery {
                 lease,
                 redeliveries,
@@ -1104,6 +1126,89 @@ mod tests {
         assert!(tm.worker_disconnects >= 1);
         worker.stop();
         cluster.shutdown();
+    }
+
+    /// Run `f` on a helper thread and panic if it has not finished
+    /// within `limit` — turns a deadlock into a test failure instead of
+    /// a hung suite.
+    fn assert_finishes_within(limit: Duration, f: impl FnOnce() + Send + 'static) {
+        let done = Arc::new(AtomicBool::new(false));
+        let thread_done = done.clone();
+        let t = std::thread::spawn(move || {
+            f();
+            thread_done.store(true, Ordering::SeqCst);
+        });
+        let deadline = Instant::now() + limit;
+        while !done.load(Ordering::SeqCst) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(done.load(Ordering::SeqCst), "deadlocked: did not finish in {limit:?}");
+        t.join().unwrap();
+    }
+
+    /// A write can only fail with the stream mutex held; `mark_dead`
+    /// re-locks that mutex to shut the socket down. Regression test for
+    /// the recursive-lock deadlock: the first broker-side write failure
+    /// after a worker `kill -9` must return, not wedge the proxy.
+    #[test]
+    fn broker_write_failure_marks_dead_without_deadlock() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        drop(accepted); // peer dies: writes will eventually fail
+        let conn = Arc::new(Conn {
+            worker: "t".into(),
+            node: 0,
+            stream: Mutex::new(client),
+            dead: AtomicBool::new(false),
+            pending: Mutex::new(HashMap::new()),
+            instances: Mutex::new(Vec::new()),
+            tm: Arc::new(TransportMetrics::default()),
+        });
+        let write_conn = conn.clone();
+        assert_finishes_within(Duration::from_secs(10), move || {
+            // Large frames defeat socket buffering so the dead peer
+            // surfaces as a write error within a few attempts.
+            let big = WireMsg::Settle {
+                lease: 1,
+                body: SettleBody::Ok(vec![0u8; 1 << 20]),
+            };
+            for _ in 0..64 {
+                if !write_conn.write(&big) {
+                    return;
+                }
+            }
+            panic!("writes to a dead peer never failed");
+        });
+        assert!(conn.dead.load(Ordering::Relaxed));
+    }
+
+    /// Same recursive-lock shape on the worker side: a failed
+    /// settle/heartbeat write calls `kill`, which re-locks the stream.
+    #[test]
+    fn worker_write_failure_kills_session_without_deadlock() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        drop(accepted);
+        let session = Arc::new(WorkerSession {
+            stream: Mutex::new(client),
+            dead: AtomicBool::new(false),
+        });
+        let write_session = session.clone();
+        assert_finishes_within(Duration::from_secs(10), move || {
+            let big = WireMsg::Settle {
+                lease: 1,
+                body: SettleBody::Ok(vec![0u8; 1 << 20]),
+            };
+            for _ in 0..64 {
+                if !write_session.write(&big) {
+                    return;
+                }
+            }
+            panic!("writes to a dead peer never failed");
+        });
+        assert!(session.dead.load(Ordering::Relaxed));
     }
 
     #[test]

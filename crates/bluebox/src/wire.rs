@@ -550,9 +550,62 @@ pub fn decode_frame(buf: &[u8]) -> Result<(WireMsg, usize), FrameError> {
 
 // ---- blocking stream IO -----------------------------------------------
 
+/// An incremental frame reader that survives read timeouts.
+///
+/// A socket read timeout can fire *mid-frame* (a large Delivery, a
+/// stalled peer). The free-standing [`read_frame`] would discard the
+/// partially-read bytes in that case, desynchronising the stream: the
+/// next read starts in the middle of the old frame and everything after
+/// decodes as garbage. `FrameReader` instead accumulates bytes in a
+/// buffer and decodes with [`decode_frame`], so a
+/// `WouldBlock`/`TimedOut` error leaves the partial frame intact — the
+/// caller can treat the timeout as benign and simply call
+/// [`FrameReader::read_frame`] again to resume where it left off.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Read one frame, resuming any partially-buffered frame first.
+    ///
+    /// `Io(WouldBlock)`/`Io(TimedOut)` are resumable: buffered bytes
+    /// are kept and the next call continues the same frame. Every other
+    /// error is connection-fatal, exactly as with [`read_frame`].
+    pub fn read_frame(&mut self, stream: &mut impl Read) -> Result<WireMsg, FrameError> {
+        loop {
+            let (need, have) = match decode_frame(&self.buf) {
+                Ok((msg, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(msg);
+                }
+                Err(FrameError::Truncated { need, have }) => (need, have),
+                Err(e) => return Err(e),
+            };
+            let mut chunk = [0u8; 8192];
+            match stream.read(&mut chunk) {
+                Ok(0) if self.buf.is_empty() => return Err(FrameError::Eof),
+                // Peer closed inside a frame: torn frame.
+                Ok(0) => return Err(FrameError::Truncated { need, have }),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
 /// Read one frame from a blocking stream. `Eof` on clean close between
 /// frames; a close *inside* a frame surfaces as `Eof`/`Io` too — the
 /// torn-frame case the connection layer treats as peer death.
+///
+/// Not timeout-safe: a read timeout mid-frame loses the partial bytes.
+/// Connection loops that tolerate timeouts must use [`FrameReader`].
 pub fn read_frame(stream: &mut impl Read) -> Result<WireMsg, FrameError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     // Distinguish clean EOF (no bytes at all) from a torn header.
@@ -767,6 +820,80 @@ mod tests {
             assert_eq!(read_frame(&mut cursor).unwrap(), msg);
         }
         assert_eq!(read_frame(&mut cursor), Err(FrameError::Eof));
+    }
+
+    /// Yields one byte per read and a timeout error between every
+    /// byte — the worst case of a read timeout firing mid-frame.
+    struct ChoppyStream {
+        data: Vec<u8>,
+        pos: usize,
+        tick: usize,
+    }
+
+    impl Read for ChoppyStream {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            self.tick += 1;
+            if self.tick % 2 == 0 {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            out[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_mid_frame_timeouts() {
+        let msgs = sample_msgs();
+        let mut data = Vec::new();
+        for msg in &msgs {
+            data.extend_from_slice(&encode_frame(msg));
+        }
+        let mut stream = ChoppyStream { data, pos: 0, tick: 0 };
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        loop {
+            match reader.read_frame(&mut stream) {
+                Ok(msg) => got.push(msg),
+                Err(FrameError::Io(std::io::ErrorKind::WouldBlock)) => continue,
+                Err(FrameError::Eof) => break,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert_eq!(got, msgs, "no frame may be lost or corrupted by timeouts");
+    }
+
+    #[test]
+    fn frame_reader_torn_tail_is_truncated_not_garbage() {
+        let frame = encode_frame(&WireMsg::Settle {
+            lease: 7,
+            body: SettleBody::Ok(vec![0xAB; 512]),
+        });
+        let mut data = encode_frame(&WireMsg::Heartbeat { seq: 1 });
+        data.extend_from_slice(&frame[..frame.len() / 2]);
+        let mut stream = ChoppyStream { data, pos: 0, tick: 0 };
+        let mut reader = FrameReader::new();
+        let first = loop {
+            match reader.read_frame(&mut stream) {
+                Ok(msg) => break msg,
+                Err(FrameError::Io(std::io::ErrorKind::WouldBlock)) => continue,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        };
+        assert_eq!(first, WireMsg::Heartbeat { seq: 1 });
+        let tail = loop {
+            match reader.read_frame(&mut stream) {
+                Err(FrameError::Io(std::io::ErrorKind::WouldBlock)) => continue,
+                other => break other,
+            }
+        };
+        match tail {
+            Err(FrameError::Truncated { .. }) => {}
+            other => panic!("expected Truncated for torn tail, got {other:?}"),
+        }
     }
 
     #[test]
