@@ -4,7 +4,7 @@
 CARGO ?= cargo
 CHAOS_SEEDS ?= 16
 
-.PHONY: build test test-all test-chaos recovery-check obs-check profile-check introspect-check fuzz-smoke scale-smoke store-smoke cluster-smoke bench ci
+.PHONY: build test test-all test-chaos recovery-check obs-check profile-check introspect-check fuzz-smoke scale-smoke store-smoke gvm-smoke cluster-smoke bench ci
 
 build:
 	$(CARGO) build --release
@@ -71,6 +71,14 @@ scale-smoke:
 # sec5_production_day -- --json BENCH_store.json`.
 store-smoke:
 	sh scripts/store_smoke.sh
+
+# GVM interpreter perf gate: the gvm_perf workloads in smoke mode,
+# full optimization vs GVM_OPT=off, with a minimum-speedup assertion
+# and a JSON shape check. The committed BENCH_gvm.json baseline is the
+# full-size run: `cargo run --release -p gozer-bench --bin gvm_perf --
+# --compare --json BENCH_gvm.json`.
+gvm-smoke:
+	sh scripts/gvm_smoke.sh
 
 # Multi-process transport gate: a broker process plus two real
 # gozer-worker OS processes over TCP, with one genuine `kill -9` and a

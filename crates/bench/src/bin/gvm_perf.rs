@@ -1,0 +1,208 @@
+//! GVM interpreter wall-clock gauge: the workloads behind
+//! `BENCH_gvm.json` and the `gvm-smoke` CI gate.
+//!
+//! Times the interpreter-bound cores of `gvm_microbench` (fib,
+//! loop-sum, yield+resume) and `listing1_sum_squares` (the `loc`/`par`
+//! variants) as plain median-of-samples wall clock, and emits one JSON
+//! report. Unlike the criterion benches this bin is scriptable: it can
+//! run the same workloads twice — once at full optimization and once
+//! with `GVM_OPT=off` semantics-preserving de-optimization — and assert
+//! a minimum speedup, which is the CI regression gate for the
+//! inline-cache/fusion/pooling work.
+//!
+//! ```bash
+//! cargo run --release -p gozer-bench --bin gvm_perf -- --json BENCH_gvm.json
+//! BENCH_SMOKE=1 cargo run --release -p gozer-bench --bin gvm_perf -- --compare --min-speedup 1.3
+//! ```
+
+use std::time::Instant;
+
+use gozer::{Gvm, RunOutcome, Value};
+use gozer_bench::{json_path_from_args, smoke_mode, Json, Table};
+
+const SRC: &str = "
+(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(defun sum-to (n) (loop for i from 1 to n sum i))
+(defun deep (n) (if (= n 0) (yield :deep) (+ 0 (deep (- n 1)))))
+(defun loc-sum-squares (numbers)
+  (apply #'+
+         (loop for number in numbers
+               collect (* number number))))
+(defun par-sum-squares (numbers)
+  (apply #'+
+         (loop for number in numbers
+               collect (future (* number number)))))
+";
+
+struct Measurement {
+    name: &'static str,
+    ns_per_iter: u64,
+}
+
+/// Median-of-samples wall time for `f`, in nanoseconds per call.
+fn time_it(samples: usize, mut f: impl FnMut()) -> u64 {
+    f(); // warm-up
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn run_workloads(gvm: &std::sync::Arc<Gvm>, samples: usize, fib_n: i64, sum_n: i64) -> Vec<Measurement> {
+    let fib = gvm.function("fib").unwrap();
+    let sum_to = gvm.function("sum-to").unwrap();
+    let deep = gvm.function("deep").unwrap();
+    let loc = gvm.function("loc-sum-squares").unwrap();
+    let par = gvm.function("par-sum-squares").unwrap();
+    let fib_expected = {
+        // Iterative reference value for the checksum.
+        let (mut a, mut b) = (0i64, 1i64);
+        for _ in 0..fib_n {
+            let t = a + b;
+            a = b;
+            b = t;
+        }
+        a
+    };
+    let numbers = Value::list((1..=256i64).map(Value::Int).collect());
+    let sq_expected = Value::Int((1..=256i64).map(|x| x * x).sum());
+
+    let mut out = Vec::new();
+    out.push(Measurement {
+        name: "fib",
+        ns_per_iter: time_it(samples, || {
+            let v = gvm.call_sync(&fib, vec![Value::Int(fib_n)]).unwrap();
+            assert_eq!(v, Value::Int(fib_expected));
+        }),
+    });
+    out.push(Measurement {
+        name: "loop_sum",
+        ns_per_iter: time_it(samples, || {
+            let v = gvm.call_sync(&sum_to, vec![Value::Int(sum_n)]).unwrap();
+            assert_eq!(v, Value::Int(sum_n * (sum_n + 1) / 2));
+        }),
+    });
+    out.push(Measurement {
+        name: "loc_sum_squares_256",
+        ns_per_iter: time_it(samples, || {
+            let v = gvm.call_sync(&loc, vec![numbers.clone()]).unwrap();
+            assert_eq!(v, sq_expected);
+        }),
+    });
+    out.push(Measurement {
+        name: "par_sum_squares_256",
+        ns_per_iter: time_it(samples, || {
+            let v = gvm.call_sync(&par, vec![numbers.clone()]).unwrap();
+            assert_eq!(v, sq_expected);
+        }),
+    });
+    out.push(Measurement {
+        name: "yield_resume_depth50",
+        ns_per_iter: time_it(samples, || {
+            let RunOutcome::Suspended(s) = gvm.call_fiber(&deep, vec![Value::Int(50)]).unwrap()
+            else {
+                panic!("expected suspension");
+            };
+            let RunOutcome::Done(v) = gvm.resume_fiber(s.state, Value::Int(0)).unwrap() else {
+                panic!("expected done");
+            };
+            assert_eq!(v, Value::Int(0));
+        }),
+    });
+    out
+}
+
+fn gvm_with_opt(opt: &str) -> std::sync::Arc<Gvm> {
+    // The opt level is read from the environment at VM construction and
+    // at compile time; setting it around the build keeps the two modes
+    // in one process. Single-threaded here, so this is race-free.
+    std::env::set_var("GVM_OPT", opt);
+    let gvm = Gvm::with_pool_size(2);
+    gvm.load_str(SRC, "gvm-perf").unwrap();
+    std::env::remove_var("GVM_OPT");
+    gvm
+}
+
+fn to_json(ms: &[Measurement]) -> Json {
+    let mut obj = Json::obj();
+    for m in ms {
+        obj = obj.field(m.name, Json::Int(m.ns_per_iter as i64));
+    }
+    obj
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let compare = args.iter().any(|a| a == "--compare");
+    let min_speedup: f64 = args
+        .iter()
+        .position(|a| a == "--min-speedup")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--min-speedup takes a number"))
+        .unwrap_or(0.0);
+    let smoke = smoke_mode();
+    let (samples, fib_n, sum_n) = if smoke { (7, 16, 4000) } else { (15, 20, 100_000) };
+
+    let full = run_workloads(&gvm_with_opt("full"), samples, fib_n, sum_n);
+    let mut table = Table::new(
+        "GVM interpreter wall clock (median ns/iter)",
+        &["workload", "full", "off", "speedup"],
+    );
+    let mut report = Json::obj()
+        .field("schema", "gozer-gvm-perf/v1")
+        .field("smoke", Json::Bool(smoke))
+        .field("samples", Json::Int(samples as i64))
+        .field("fib_n", Json::Int(fib_n))
+        .field("sum_n", Json::Int(sum_n))
+        .field("full", to_json(&full));
+
+    if compare {
+        let off = run_workloads(&gvm_with_opt("off"), samples, fib_n, sum_n);
+        let mut speedups = Json::obj();
+        let mut worst = f64::INFINITY;
+        for (a, b) in full.iter().zip(off.iter()) {
+            assert_eq!(a.name, b.name);
+            let s = b.ns_per_iter as f64 / a.ns_per_iter.max(1) as f64;
+            // The yield workload is dominated by continuation capture,
+            // not instruction dispatch; report it but keep it out of the
+            // gate.
+            if a.name != "yield_resume_depth50" && a.name != "par_sum_squares_256" {
+                worst = worst.min(s);
+            }
+            speedups = speedups.field(a.name, Json::Num((s * 100.0).round() / 100.0));
+            table.row(&[
+                a.name.to_string(),
+                a.ns_per_iter.to_string(),
+                b.ns_per_iter.to_string(),
+                format!("{s:.2}x"),
+            ]);
+        }
+        report = report
+            .field("off", to_json(&off))
+            .field("speedup_full_vs_off", speedups)
+            .field("min_speedup_required", Json::Num(min_speedup));
+        table.print();
+        if min_speedup > 0.0 && worst < min_speedup {
+            eprintln!(
+                "gvm_perf: FAIL — worst interpreter-bound speedup {worst:.2}x < required {min_speedup:.2}x"
+            );
+            std::process::exit(1);
+        }
+        println!("gvm_perf: worst interpreter-bound speedup {worst:.2}x (required {min_speedup:.2}x)");
+    } else {
+        for m in &full {
+            table.row(&[m.name.to_string(), m.ns_per_iter.to_string(), "-".into(), "-".into()]);
+        }
+        table.print();
+    }
+
+    if let Some(path) = json_path_from_args() {
+        report.write(&path).expect("write JSON report");
+        println!("wrote {}", path.display());
+    }
+}

@@ -31,7 +31,9 @@
 //! prints the top-N hot-function table (calls, inclusive/exclusive
 //! time), the opcode mix, and the continuation serialize/deserialize
 //! costs, and writes the folded stacks to `<file>.folded` — pipe that
-//! through `flamegraph.pl` for an SVG.
+//! through `flamegraph.pl` for an SVG. `profile --top-pairs <file>
+//! <function>` adds the hottest adjacent opcode pairs, the reproducible
+//! source of the superinstruction fusion table.
 
 use std::io::{BufRead, Write};
 
@@ -109,16 +111,21 @@ fn run_timeline(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `profile <file> <function> [args...]`: run a workflow with the GVM
-/// profiler on; print the hot-function report and write the folded
-/// stacks next to the source file.
+/// `profile [--top-pairs] <file> <function> [args...]`: run a workflow
+/// with the GVM profiler on; print the hot-function report and write
+/// the folded stacks next to the source file. With `--top-pairs`, also
+/// print the hottest adjacent opcode pairs — the reproducible source of
+/// the superinstruction fusion table (`crates/vm/src/fuse.rs`).
 fn run_profile(args: &[String]) -> Result<(), String> {
-    let (path, rest) = args
-        .split_first()
-        .ok_or("usage: gozer-repl profile <file> <function> [args...]")?;
-    let (function, rest) = rest
-        .split_first()
-        .ok_or("usage: gozer-repl profile <file> <function> [args...]")?;
+    const USAGE: &str = "usage: gozer-repl profile [--top-pairs] <file> <function> [args...]";
+    let mut args = args;
+    let mut top_pairs = false;
+    if args.first().map(String::as_str) == Some("--top-pairs") {
+        top_pairs = true;
+        args = &args[1..];
+    }
+    let (path, rest) = args.split_first().ok_or(USAGE)?;
+    let (function, rest) = rest.split_first().ok_or(USAGE)?;
     let source =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let sys = GozerSystem::builder()
@@ -142,6 +149,10 @@ fn run_profile(args: &[String]) -> Result<(), String> {
     println!("result: {v:?}\n");
     let profile = sys.workflow.obs().profile();
     print!("{}", profile.render(20));
+    if top_pairs {
+        println!("\n== top opcode pairs (fusion candidates) ==");
+        print!("{}", profile.top_pairs(20));
+    }
     let folded_path = format!("{path}.folded");
     std::fs::write(&folded_path, profile.folded_stacks())
         .map_err(|e| format!("cannot write {folded_path}: {e}"))?;

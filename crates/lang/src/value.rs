@@ -76,6 +76,18 @@ impl AssocMap {
 
     /// Look up by structural equality.
     pub fn get(&self, key: &Value) -> Option<&Value> {
+        // Interned keywords dominate map keys in workflow messages
+        // (`{:id .. :payload ..}`), and a keyword only ever equals
+        // another keyword — one interned-id compare. Scanning with that
+        // single test skips the full structural-equality match per
+        // entry on the hot path.
+        if let Value::Keyword(key) = key {
+            return self
+                .entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Keyword(k) if k == key))
+                .map(|(_, v)| v);
+        }
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 

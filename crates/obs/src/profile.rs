@@ -132,6 +132,12 @@ pub struct ProfileReport {
     pub opcodes: BTreeMap<String, u64>,
     /// Folded stack path (`root;child;leaf`) → exclusive nanos.
     pub folded: BTreeMap<String, u64>,
+    /// Adjacent dynamic opcode pair `(first, second)` → count. Built
+    /// from *constituent* opcodes by the VM profiler, so fused and
+    /// unfused nodes merge into one consistent table — this is the data
+    /// behind `gozer-repl profile --top-pairs` and the superinstruction
+    /// fusion table.
+    pub pairs: BTreeMap<(String, String), u64>,
     /// Continuation serialize/deserialize costs.
     pub serial: SerialCostSnapshot,
 }
@@ -155,6 +161,9 @@ impl ProfileReport {
         }
         for (path, w) in &other.folded {
             *self.folded.entry(path.clone()).or_insert(0) += w;
+        }
+        for (pair, n) in &other.pairs {
+            *self.pairs.entry(pair.clone()).or_insert(0) += n;
         }
         self.serial.merge(&other.serial);
     }
@@ -220,6 +229,29 @@ impl ProfileReport {
             "",
             self.total_exclusive_nanos() as f64 / 1_000.0,
         );
+        out
+    }
+
+    /// The `n` hottest adjacent opcode pairs by dynamic count, as an
+    /// aligned text table — the reproducible source of the fusion pair
+    /// table (`crates/vm/src/fuse.rs`). Zero-count pairs are skipped.
+    pub fn top_pairs(&self, n: usize) -> String {
+        let mut pairs: Vec<(&(String, String), &u64)> =
+            self.pairs.iter().filter(|(_, c)| **c > 0).collect();
+        pairs.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        pairs.truncate(n);
+        let total = self.total_opcodes().max(1);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<36} {:>12} {:>7}", "pair", "count", "share");
+        for ((a, b), c) in &pairs {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>12} {:>6.1}%",
+                format!("{a};{b}"),
+                c,
+                **c as f64 * 100.0 / total as f64,
+            );
+        }
         out
     }
 

@@ -1172,6 +1172,9 @@ impl Inner {
             for (path, weight) in snap.folded {
                 *part.folded.entry(path).or_insert(0) += weight;
             }
+            for (a, b, count) in snap.pairs {
+                *part.pairs.entry((a, b)).or_insert(0) += count;
+            }
             report.merge(&part);
         }
         report.serial = self.serial_costs.snapshot();

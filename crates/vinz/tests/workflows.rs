@@ -248,7 +248,7 @@ fn fibers_run_on_multiple_nodes() {
     let wf = deploy(
         &cluster,
         "(defun main ()
-           (for-each (i in (range 16)) (* i i)))",
+           (for-each (i in (range 16)) (progn (sleep-millis 3) (* i i))))",
     );
     let obs = wf.obs();
     obs.set_tracing(true);

@@ -10,6 +10,7 @@
 //! externalized, in the manner of Stackless Python).
 
 use std::fmt;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use gozer_lang::{Symbol, Value};
@@ -33,6 +34,12 @@ pub enum Op {
     LoadLocal(u16),
     /// Pop into local slot.
     StoreLocal(u16),
+    /// *Move* a local slot onto the stack, leaving `nil` behind. Emitted
+    /// by the compiler (via the internal `%take` form) where a binding's
+    /// value is provably dead until reassigned — e.g. the `loop collect`
+    /// accumulator handed to `%append1` — so the callee sees a uniquely
+    /// referenced value and copy-on-write natives can mutate in place.
+    TakeLocal(u16),
     /// Push closure capture.
     LoadCapture(u16),
     /// Push global named by constant-pool symbol.
@@ -87,6 +94,81 @@ pub enum Op {
     },
     /// Remove the `n` most recent restarts.
     PopRestarts(u16),
+
+    // ---- superinstructions ---------------------------------------------
+    //
+    // Each fused op replaces the *first* slot of a hot adjacent pair; the
+    // second slot keeps its original instruction ("keep-second-slot"
+    // fusion). Executing the fused op runs both constituents and skips
+    // the pc past both, so every pc a continuation can observe — jump
+    // targets into the second slot, suspension points, frame pcs — is
+    // identical to the unfused program. That is what lets fused and
+    // unfused nodes exchange serialized continuations freely, and why
+    // `gozer-serial` needs no changes: it records only (program, chunk,
+    // pc). The profiler credits each *constituent* opcode, keeping counts
+    // bit-identical across modes.
+    /// Fused `LoadLocal(a); LoadLocal(b)`.
+    LoadLocal2(u16, u16),
+    /// Fused `LoadLocal(slot); Const(c)`.
+    LoadLocalConst(u16, u32),
+    /// Fused `LoadGlobal(g); LoadLocal(slot)`.
+    GlobalLocal(u32, u16),
+    /// Fused `Const(c); Call(n)` (constant last argument).
+    ConstCall(u32, u16),
+    /// Fused `LoadLocal(slot); Call(n)` (local last argument).
+    LoadLocalCall(u16, u16),
+    /// Fused `Call(n); JumpIfFalse(off)` (call feeding a branch). When
+    /// the callee is a closure this degrades to plain `Call` semantics —
+    /// the retained `JumpIfFalse` in the second slot runs on return.
+    CallBranchFalse(u16, i32),
+    /// Fused `Dup; StoreLocal(slot)` (the `setq`-leaves-its-value shape).
+    DupStore(u16),
+    /// Fused `Pop; Jump(off)` (discard a statement value and loop back).
+    PopJump(i32),
+    /// Fused `LoadGlobal(g); LoadLocal(a); LoadLocal(b); Call(2)` — the
+    /// complete two-local call shape (`(+ acc i)`, `(<= i bound)`).
+    /// When the global resolves to a two-int native the result is
+    /// computed without materializing the callee or arguments on the
+    /// operand stack; slots i+1..i+3 keep their original instructions
+    /// as landing pads, exactly like the pairwise fusions.
+    GlobalLocal2Call(u32, u16, u16),
+    /// Fused `LoadGlobal(g); LoadLocal(s); Const(c); Call(2)` — the
+    /// local-and-constant call shape (`(- n 1)`, `(< n 2)`).
+    GlobalLocalConstCall(u32, u16, u32),
+}
+
+impl Op {
+    /// The constituent sequence of a fused op (`None` for plain ops).
+    /// Offsets in later constituents are relative to their own retained
+    /// slot, exactly as in the unfused program. Constituents after the
+    /// first must still occupy the following slots (possibly themselves
+    /// re-fused, with the same first constituent) so jumps and resumed
+    /// continuations can land on them.
+    pub fn fused_constituents(&self) -> Option<Vec<Op>> {
+        match *self {
+            Op::LoadLocal2(a, b) => Some(vec![Op::LoadLocal(a), Op::LoadLocal(b)]),
+            Op::LoadLocalConst(s, c) => Some(vec![Op::LoadLocal(s), Op::Const(c)]),
+            Op::GlobalLocal(g, s) => Some(vec![Op::LoadGlobal(g), Op::LoadLocal(s)]),
+            Op::ConstCall(c, n) => Some(vec![Op::Const(c), Op::Call(n)]),
+            Op::LoadLocalCall(s, n) => Some(vec![Op::LoadLocal(s), Op::Call(n)]),
+            Op::CallBranchFalse(n, off) => Some(vec![Op::Call(n), Op::JumpIfFalse(off)]),
+            Op::DupStore(s) => Some(vec![Op::Dup, Op::StoreLocal(s)]),
+            Op::PopJump(off) => Some(vec![Op::Pop, Op::Jump(off)]),
+            Op::GlobalLocal2Call(g, a, b) => Some(vec![
+                Op::LoadGlobal(g),
+                Op::LoadLocal(a),
+                Op::LoadLocal(b),
+                Op::Call(2),
+            ]),
+            Op::GlobalLocalConstCall(g, s, c) => Some(vec![
+                Op::LoadGlobal(g),
+                Op::LoadLocal(s),
+                Op::Const(c),
+                Op::Call(2),
+            ]),
+            _ => None,
+        }
+    }
 }
 
 /// How a closure capture is sourced from the *enclosing* frame at
@@ -133,7 +215,7 @@ impl ParamSpec {
 }
 
 /// One compiled function body.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Chunk {
     /// Name for diagnostics (`"lambda"` when anonymous).
     pub name: String,
@@ -149,6 +231,27 @@ pub struct Chunk {
     pub captures: Vec<CaptureSource>,
     /// The instruction stream.
     pub code: Vec<Op>,
+    /// Per-pc inline caches for `LoadGlobal`/`GlobalLocal` sites, packed
+    /// `(generation << 32) | slot`. Generation 0 means "empty". Sized to
+    /// `code.len()` by the compiler; hand-built programs may leave it
+    /// empty, in which case those sites take the slow lookup every time.
+    /// Purely a cache: never serialized, never compared, reset by clone.
+    pub ic: Vec<AtomicU64>,
+}
+
+impl Clone for Chunk {
+    fn clone(&self) -> Chunk {
+        Chunk {
+            name: self.name.clone(),
+            doc: self.doc.clone(),
+            params: self.params.clone(),
+            local_count: self.local_count,
+            captures: self.captures.clone(),
+            code: self.code.clone(),
+            // Caches are per-Chunk state; a clone starts cold.
+            ic: self.code.iter().map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
 }
 
 /// A compilation unit: constant pool plus chunks.
@@ -210,6 +313,18 @@ pub fn disassemble(program: &Program, chunk_idx: u32) -> String {
                     i as i64 + 1 + *offset as i64
                 )
             }
+            Op::GlobalLocal(g, _)
+            | Op::GlobalLocal2Call(g, ..)
+            | Op::GlobalLocalConstCall(g, ..) => {
+                format!(" ; {:?}", program.consts[*g as usize])
+            }
+            Op::LoadLocalConst(_, c) | Op::ConstCall(c, _) => {
+                format!(" ; {:?}", program.consts[*c as usize])
+            }
+            // Branch offset is relative to the *second* slot (i + 1).
+            Op::CallBranchFalse(_, off) | Op::PopJump(off) => {
+                format!(" ; -> {}", i as i64 + 2 + *off as i64)
+            }
             _ => String::new(),
         };
         let _ = writeln!(out, "{i:5}  {op:?}{note}");
@@ -256,6 +371,7 @@ mod tests {
                 local_count: 0,
                 captures: vec![],
                 code: vec![Op::Const(0), Op::Return],
+                ic: Vec::new(),
             }],
         };
         let text = disassemble(&p, 0);

@@ -146,6 +146,7 @@ impl<'h> Compiler<'h> {
             local_count: 0,
             captures: Vec::new(),
             code: Vec::new(),
+            ic: Vec::new(),
         });
         c.fns.push(FnCtx::new("toplevel"));
         c.compile_expr(form, true)?;
@@ -158,6 +159,15 @@ impl<'h> Compiler<'h> {
         }
         c.chunks[0].local_count = ctx.locals.len() as u16;
         c.chunks[0].code = ctx.code;
+        let fuse = crate::opt::fusion_enabled();
+        for ch in &mut c.chunks {
+            if fuse {
+                crate::fuse::fuse_code(&mut ch.code);
+            }
+            ch.ic = std::iter::repeat_with(Default::default)
+                .take(ch.code.len())
+                .collect();
+        }
         Ok(Arc::new(Program {
             id: program_id,
             name: program_name.to_string(),
@@ -411,6 +421,26 @@ impl<'h> Compiler<'h> {
                     expect_args("push-cc", args, 0)?;
                     self.emit(Op::PushCC);
                     return Ok(());
+                }
+                "%take" => {
+                    // Compiler-internal move: like loading the variable,
+                    // but a *local* binding is left holding nil so the
+                    // pushed value is the only live reference. The loop
+                    // expansion uses it on accumulator bindings that are
+                    // reassigned immediately after the consuming call;
+                    // anything that doesn't resolve to a local degrades
+                    // to a plain load.
+                    expect_args("%take", args, 1)?;
+                    let var = args[0]
+                        .as_symbol()
+                        .ok_or_else(|| VmError::Compile("%take requires a symbol".into()))?;
+                    return match self.resolve(var) {
+                        VarRef::Local(slot) => {
+                            self.emit(Op::TakeLocal(slot));
+                            Ok(())
+                        }
+                        _ => self.compile_expr(&args[0], false),
+                    };
                 }
                 "function" => {
                     expect_args("function", args, 1)?;
@@ -804,6 +834,7 @@ impl<'h> Compiler<'h> {
             local_count: 0,
             captures: Vec::new(),
             code: Vec::new(),
+            ic: Vec::new(),
         });
         let mut ctx = FnCtx::new(name);
         // Docstring.
@@ -1353,22 +1384,33 @@ fn expand_loop(host: &dyn MacroHost, args: &[Value]) -> VmResult<Value> {
                     .get(i + 3)
                     .cloned()
                     .ok_or_else(|| VmError::Compile("loop: for..in requires a sequence".into()))?;
+                // Index-based iteration: `(rest seq)` on a Vec-backed list
+                // copies the tail, turning the whole loop quadratic. An
+                // index over the (immutable, gensym-bound) snapshot costs
+                // O(1) per element via `nth`.
                 let seq = Value::Symbol(host.gensym());
+                let len = Value::Symbol(host.gensym());
+                let idx = Value::Symbol(host.gensym());
                 inits.push(Value::list(vec![
                     seq.clone(),
                     Value::list(vec![sym("seq->list"), seq_expr]),
                 ]));
+                inits.push(Value::list(vec![
+                    len.clone(),
+                    Value::list(vec![sym("length"), seq.clone()]),
+                ]));
+                inits.push(Value::list(vec![idx.clone(), Value::Int(0)]));
                 inits.push(Value::list(vec![var.clone(), Value::Nil]));
-                for_conds.push(seq.clone());
+                for_conds.push(Value::list(vec![sym("<"), idx.clone(), len]));
                 presets.push(Value::list(vec![
                     sym("setq"),
                     var,
-                    Value::list(vec![sym("first"), seq.clone()]),
+                    Value::list(vec![sym("nth"), idx.clone(), seq]),
                 ]));
                 steps.push(Value::list(vec![
                     sym("setq"),
-                    seq.clone(),
-                    Value::list(vec![sym("rest"), seq]),
+                    idx.clone(),
+                    Value::list(vec![sym("+"), idx, Value::Int(1)]),
                 ]));
                 i += 4;
             } else if kw(mode, "from") {
@@ -1400,8 +1442,11 @@ fn expand_loop(host: &dyn MacroHost, args: &[Value]) -> VmResult<Value> {
                     i += 2;
                 }
                 let bound = Value::Symbol(host.gensym());
-                inits.push(Value::list(vec![var.clone(), a]));
+                // The bound is computed before the loop variable binds, so
+                // a bound expression mentioning the same name still sees
+                // the enclosing binding under the sequential `let*`.
                 inits.push(Value::list(vec![bound.clone(), b]));
+                inits.push(Value::list(vec![var.clone(), a]));
                 for_conds.push(Value::list(vec![sym(cmp), var.clone(), bound]));
                 steps.push(Value::list(vec![
                     sym("setq"),
@@ -1451,10 +1496,19 @@ fn expand_loop(host: &dyn MacroHost, args: &[Value]) -> VmResult<Value> {
                 inits.push(Value::list(vec![acc.clone(), init]));
             }
             if kw(clause, "collect") {
+                // `%take` moves the accumulator out of its slot so
+                // `%append1` holds the only reference and can push in
+                // place — without it every iteration copies the list
+                // (the slot's second reference defeats `Arc::get_mut`)
+                // and `collect` is O(n²).
                 body.push(Value::list(vec![
                     sym("setq"),
                     acc.clone(),
-                    Value::list(vec![sym("%append1"), acc.clone(), e]),
+                    Value::list(vec![
+                        sym("%append1"),
+                        Value::list(vec![sym("%take"), acc.clone()]),
+                        e,
+                    ]),
                 ]));
             } else if kw(clause, "sum") {
                 body.push(Value::list(vec![
@@ -1509,8 +1563,10 @@ fn expand_loop(host: &dyn MacroHost, args: &[Value]) -> VmResult<Value> {
         }
     };
 
-    // Loop skeleton:
-    //   (let (inits.. [done])
+    // Loop skeleton (`let*`: the for..in inits derive the length from the
+    // sequence snapshot, and later `for` clauses see earlier variables,
+    // as in CL):
+    //   (let* (inits.. [done])
     //     (while (and [not done] for-conds..)
     //       presets..
     //       (if while-conds (progn body.. steps..) (setq done t)))
@@ -1523,7 +1579,7 @@ fn expand_loop(host: &dyn MacroHost, args: &[Value]) -> VmResult<Value> {
         let mut while_form = vec![sym("while"), and_all(for_conds)];
         while_form.extend(while_body);
         let out = vec![
-            sym("let"),
+            sym("let*"),
             Value::list(inits),
             Value::list(while_form),
             result,
@@ -1545,7 +1601,7 @@ fn expand_loop(host: &dyn MacroHost, args: &[Value]) -> VmResult<Value> {
     let mut while_form = vec![sym("while"), and_all(all_conds)];
     while_form.extend(while_body);
     let out = vec![
-        sym("let"),
+        sym("let*"),
         Value::list(inits),
         Value::list(while_form),
         result,

@@ -17,6 +17,10 @@ pub enum VmError {
     Read(LangError),
     /// Compile-time failure (bad special form, unknown macro arity, ...).
     Compile(String),
+    /// Malformed bytecode: the load-time verifier rejected the program,
+    /// or the interpreter hit an out-of-range fetch/operand at runtime
+    /// (which a verified program cannot produce).
+    Bytecode(String),
     /// A signaled condition that no handler dealt with.
     Signal(Condition),
     /// Non-local control transfer (see [`Unwind`]).
@@ -64,6 +68,7 @@ impl VmError {
             VmError::Signal(c) => c.clone(),
             VmError::Read(e) => Condition::new("reader-error", e.to_string()),
             VmError::Compile(msg) => Condition::new("compile-error", msg.clone()),
+            VmError::Bytecode(msg) => Condition::new("bytecode-error", msg.clone()),
             VmError::Unwind(Unwind::TerminateTask(c)) => c.clone(),
             VmError::Unwind(u) => Condition::error(format!("unexpected unwind: {u:?}")),
         }
@@ -75,6 +80,7 @@ impl std::fmt::Display for VmError {
         match self {
             VmError::Read(e) => write!(f, "read error: {e}"),
             VmError::Compile(msg) => write!(f, "compile error: {msg}"),
+            VmError::Bytecode(msg) => write!(f, "bytecode error: {msg}"),
             VmError::Signal(c) => write!(f, "unhandled condition: {c}"),
             VmError::Unwind(u) => write!(f, "control transfer escaped: {u:?}"),
         }

@@ -8,7 +8,7 @@
 //! service threads share one JVM in production.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use gozer_lang::reader::SharedStream;
@@ -107,9 +107,88 @@ pub struct FiberObsEvent<'a> {
 /// Observer callback installed with [`Gvm::set_fiber_observer`].
 pub type FiberObserver = Arc<dyn Fn(&FiberObsEvent<'_>) + Send + Sync>;
 
+/// The global environment as a **slot table**: name→slot resolution is
+/// separated from slot→value access so the interpreter's per-callsite
+/// inline caches can skip the hash lookup entirely.
+///
+/// Invariants the inline caches depend on:
+///
+/// * slots are append-only — a symbol's slot index never changes once
+///   assigned, and slots are never reused;
+/// * `gen` starts at 1 (cache word 0 always means "empty") and is bumped
+///   **only when a new symbol is added**. Redefining an existing global
+///   writes the slot in place, so hot caches stay valid across
+///   redefinition and still observe the new value;
+/// * lock order is `map` then `slots`, everywhere.
+struct GlobalTable {
+    map: RwLock<HashMap<Symbol, u32>>,
+    slots: RwLock<Vec<Value>>,
+    gen: AtomicU32,
+    /// Bumped on *every* write (new definition or in-place update).
+    /// Interpreter activations key their local value caches on this, so
+    /// a cache stays valid exactly until any global changes — unlike
+    /// `gen`, which only tracks the name → slot mapping.
+    epoch: AtomicU64,
+}
+
+impl GlobalTable {
+    fn new() -> GlobalTable {
+        GlobalTable {
+            map: RwLock::new(HashMap::with_capacity(256)),
+            slots: RwLock::new(Vec::with_capacity(256)),
+            gen: AtomicU32::new(1),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    fn get(&self, name: Symbol) -> Option<Value> {
+        let idx = *self.map.read().get(&name)?;
+        Some(self.slots.read()[idx as usize].clone())
+    }
+
+    /// Returns the symbol's slot, assigning a fresh one (and bumping the
+    /// generation) if it had none.
+    fn slot_for(&self, name: Symbol, v: Value) -> u32 {
+        if let Some(&idx) = self.map.read().get(&name) {
+            self.slots.write()[idx as usize] = v;
+            self.epoch.fetch_add(1, Ordering::Release);
+            return idx;
+        }
+        let mut map = self.map.write();
+        // Re-check under the write lock (lost race with another definer).
+        if let Some(&idx) = map.get(&name) {
+            self.slots.write()[idx as usize] = v;
+            self.epoch.fetch_add(1, Ordering::Release);
+            return idx;
+        }
+        let mut slots = self.slots.write();
+        let idx = slots.len() as u32;
+        slots.push(v);
+        map.insert(name, idx);
+        self.gen.fetch_add(1, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+        idx
+    }
+
+    /// Define only when unbound; true when the definition took effect.
+    fn define_if_unbound(&self, name: Symbol, v: Value) -> bool {
+        let mut map = self.map.write();
+        if map.contains_key(&name) {
+            return false;
+        }
+        let mut slots = self.slots.write();
+        let idx = slots.len() as u32;
+        slots.push(v);
+        map.insert(name, idx);
+        self.gen.fetch_add(1, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+        true
+    }
+}
+
 /// The engine.
 pub struct Gvm {
-    globals: RwLock<HashMap<Symbol, Value>>,
+    globals: GlobalTable,
     macros: RwLock<HashMap<Symbol, Value>>,
     /// The active read table; `set-macro-character` mutates it.
     pub reader: Mutex<Reader>,
@@ -130,6 +209,9 @@ pub struct Gvm {
     fiber_observer: RwLock<Option<FiberObserver>>,
     /// The execution profiler (always present, disabled by default).
     profiler: Arc<crate::profile::VmProfiler>,
+    /// Interpreter optimization switches (read from `GVM_OPT` /
+    /// `GVM_NO_FUSE` at construction).
+    opt: RwLock<crate::opt::OptConfig>,
 }
 
 impl Gvm {
@@ -148,7 +230,7 @@ impl Gvm {
     /// node across service instances, §4.1).
     pub fn with_pool(pool: Arc<ThreadPool>) -> Arc<Gvm> {
         let gvm = Arc::new(Gvm {
-            globals: RwLock::new(HashMap::with_capacity(256)),
+            globals: GlobalTable::new(),
             macros: RwLock::new(HashMap::new()),
             reader: Mutex::new(Reader::new()),
             programs: RwLock::new(HashMap::new()),
@@ -160,6 +242,7 @@ impl Gvm {
             futures_enabled: AtomicBool::new(true),
             fiber_observer: RwLock::new(None),
             profiler: Arc::new(crate::profile::VmProfiler::default()),
+            opt: RwLock::new(crate::opt::OptConfig::from_env()),
         });
         crate::natives::install(&gvm);
         gvm.load_str(crate::natives::PRELUDE, "prelude")
@@ -183,7 +266,7 @@ impl Gvm {
 
     /// Read a global binding.
     pub fn get_global(&self, name: Symbol) -> Option<Value> {
-        self.globals.read().get(&name).cloned()
+        self.globals.get(name)
     }
 
     /// Names of all global bindings containing `fragment` (the `apropos`
@@ -191,6 +274,7 @@ impl Gvm {
     pub fn global_names_matching(&self, fragment: &str) -> Vec<Symbol> {
         let mut names: Vec<Symbol> = self
             .globals
+            .map
             .read()
             .keys()
             .filter(|s| s.name().contains(fragment))
@@ -202,19 +286,46 @@ impl Gvm {
 
     /// Create or overwrite a global binding.
     pub fn set_global(&self, name: Symbol, v: Value) {
-        self.globals.write().insert(name, v);
+        self.globals.slot_for(name, v);
     }
 
     /// Define only when unbound (the `defvar` contract). Returns whether
     /// the definition took effect.
     pub fn define_if_unbound(&self, name: Symbol, v: Value) -> bool {
-        let mut g = self.globals.write();
-        if let std::collections::hash_map::Entry::Vacant(e) = g.entry(name) {
-            e.insert(v);
-            true
-        } else {
-            false
-        }
+        self.globals.define_if_unbound(name, v)
+    }
+
+    /// Current global-table generation (bumps only when a *new* symbol
+    /// is defined; in-place redefinition keeps inline caches hot).
+    pub(crate) fn global_generation(&self) -> u32 {
+        self.globals.gen.load(Ordering::Acquire)
+    }
+
+    /// Resolve a symbol to its slot index, if bound.
+    pub(crate) fn lookup_global_slot(&self, name: Symbol) -> Option<u32> {
+        self.globals.map.read().get(&name).copied()
+    }
+
+    /// Read a slot directly (inline-cache hit path — no hash lookup).
+    pub(crate) fn global_slot_value(&self, slot: u32) -> Value {
+        self.globals.slots.read()[slot as usize].clone()
+    }
+
+    /// Current global *write* epoch: changes on every global write.
+    /// Activation-local value caches are valid while this is unchanged.
+    pub(crate) fn global_epoch(&self) -> u64 {
+        self.globals.epoch.load(Ordering::Acquire)
+    }
+
+    /// The VM's optimization configuration.
+    pub fn opt(&self) -> crate::opt::OptConfig {
+        *self.opt.read()
+    }
+
+    /// Replace the optimization configuration (tests; takes effect at
+    /// the next interpreter activation).
+    pub fn set_opt(&self, opt: crate::opt::OptConfig) {
+        *self.opt.write() = opt;
     }
 
     /// Register a macro function under `name`.
@@ -287,6 +398,7 @@ impl Gvm {
             let id = fnv1a64(format!("{name}:{form:?}").as_bytes());
             let host = GvmHost(self);
             let program = Compiler::compile_toplevel(&host, &form, &name, id)?;
+            crate::verify::verify_program(&program)?;
             self.register_program(program.clone());
             last = self.run_program(&program)?;
             index += 1;
@@ -300,6 +412,7 @@ impl Gvm {
         let id = fnv1a64(format!("{unit_name}:{form:?}").as_bytes());
         let host = GvmHost(self);
         let program = Compiler::compile_toplevel(&host, form, unit_name, id)?;
+        crate::verify::verify_program(&program)?;
         self.register_program(program.clone());
         self.run_program(&program)
     }

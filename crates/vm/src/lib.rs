@@ -42,12 +42,15 @@ pub mod compiler;
 pub mod conditions;
 pub mod error;
 pub mod fiber;
+pub(crate) mod fuse;
 pub mod gvm;
 pub mod interp;
 pub mod natives;
+pub mod opt;
 pub mod pool;
 pub mod profile;
 pub mod runtime;
+pub mod verify;
 
 pub use bytecode::{disassemble, fnv1a64, Chunk, Op, Program, ProgramRef};
 pub use compiler::{Compiler, MacroHost};
@@ -56,6 +59,8 @@ pub use error::{Unwind, VmError, VmResult};
 pub use fiber::{DynState, FiberExt, FiberState, Frame, RunOutcome, Suspension};
 pub use gvm::{FiberObsEvent, FiberObsKind, FiberObserver, Gvm, GvmHost, NativeCtx};
 pub use natives::ObjectVal;
+pub use opt::{set_fuse_override, OptConfig};
 pub use pool::ThreadPool;
+pub use verify::verify_program;
 pub use profile::{FnCounts, VmProfileSnapshot, VmProfiler, OPCODE_COUNT, OPCODE_NAMES};
-pub use runtime::{force, Closure, ContinuationVal, FutureVal, NativeFn, NativeOutcome};
+pub use runtime::{force, Closure, ContinuationVal, Fast2, FutureVal, NativeFn, NativeOutcome};

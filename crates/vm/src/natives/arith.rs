@@ -8,9 +8,9 @@ use gozer_lang::Value;
 
 use crate::error::{VmError, VmResult};
 use crate::gvm::Gvm;
-use crate::runtime::NativeOutcome;
+use crate::runtime::{Fast2, NativeOutcome};
 
-use super::{arity, num_arg, reg};
+use super::{arity, num_arg, reg, reg_fast2};
 
 /// Either branch of the numeric tower.
 #[derive(Clone, Copy)]
@@ -77,13 +77,13 @@ fn cmp_chain(args: &[Value], ok: fn(f64, f64) -> bool) -> VmResult<Value> {
 }
 
 pub(super) fn install(gvm: &Arc<Gvm>) {
-    reg(gvm, "+", |_, args| {
+    reg_fast2(gvm, "+", Fast2::Add, |_, args| {
         if args.is_empty() {
             return NativeOutcome::ok(Value::Int(0));
         }
         fold("+", &args, i64::checked_add, |a, b| a + b).map(NativeOutcome::Value)
     });
-    reg(gvm, "-", |_, args| {
+    reg_fast2(gvm, "-", Fast2::Sub, |_, args| {
         arity("-", &args, 1, None)?;
         if args.len() == 1 {
             return match Num::of(&args[0])? {
@@ -93,7 +93,7 @@ pub(super) fn install(gvm: &Arc<Gvm>) {
         }
         fold("-", &args, i64::checked_sub, |a, b| a - b).map(NativeOutcome::Value)
     });
-    reg(gvm, "*", |_, args| {
+    reg_fast2(gvm, "*", Fast2::Mul, |_, args| {
         if args.is_empty() {
             return NativeOutcome::ok(Value::Int(1));
         }
@@ -224,27 +224,27 @@ pub(super) fn install(gvm: &Arc<Gvm>) {
         arity("ln", &args, 1, Some(1))?;
         NativeOutcome::ok(Value::Float(num_arg("ln", &args, 0)?.ln()))
     });
-    reg(gvm, "=", |_, args| {
+    reg_fast2(gvm, "=", Fast2::NumEq, |_, args| {
         arity("=", &args, 2, None)?;
         cmp_chain(&args, |a, b| a == b).map(NativeOutcome::Value)
     });
-    reg(gvm, "/=", |_, args| {
+    reg_fast2(gvm, "/=", Fast2::NumNe, |_, args| {
         arity("/=", &args, 2, Some(2))?;
         cmp_chain(&args, |a, b| a != b).map(NativeOutcome::Value)
     });
-    reg(gvm, "<", |_, args| {
+    reg_fast2(gvm, "<", Fast2::Lt, |_, args| {
         arity("<", &args, 2, None)?;
         cmp_chain(&args, |a, b| a < b).map(NativeOutcome::Value)
     });
-    reg(gvm, ">", |_, args| {
+    reg_fast2(gvm, ">", Fast2::Gt, |_, args| {
         arity(">", &args, 2, None)?;
         cmp_chain(&args, |a, b| a > b).map(NativeOutcome::Value)
     });
-    reg(gvm, "<=", |_, args| {
+    reg_fast2(gvm, "<=", Fast2::Le, |_, args| {
         arity("<=", &args, 2, None)?;
         cmp_chain(&args, |a, b| a <= b).map(NativeOutcome::Value)
     });
-    reg(gvm, ">=", |_, args| {
+    reg_fast2(gvm, ">=", Fast2::Ge, |_, args| {
         arity(">=", &args, 2, None)?;
         cmp_chain(&args, |a, b| a >= b).map(NativeOutcome::Value)
     });

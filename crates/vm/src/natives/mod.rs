@@ -85,6 +85,15 @@ pub(crate) fn reg(
     gvm.set_global(Symbol::intern(name), NativeFn::value(name, f));
 }
 
+pub(crate) fn reg_fast2(
+    gvm: &Arc<Gvm>,
+    name: &str,
+    fast2: crate::runtime::Fast2,
+    f: impl Fn(&mut NativeCtx<'_>, Vec<Value>) -> VmResult<NativeOutcome> + Send + Sync + 'static,
+) {
+    gvm.set_global(Symbol::intern(name), NativeFn::value_fast2(name, fast2, f));
+}
+
 pub(crate) fn reg_raw(
     gvm: &Arc<Gvm>,
     name: &str,

@@ -72,7 +72,15 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         // Close the queue so workers exit, then join them.
         self.tx.take();
+        let me = std::thread::current().id();
         for w in self.workers.drain(..) {
+            // The last Arc can be released *on* a worker (a job holding
+            // the owning Gvm outlives the main thread's handle); joining
+            // ourselves is EDEADLK, which std turns into a panic. Skip —
+            // the worker exits on its own once the closed queue drains.
+            if w.thread().id() == me {
+                continue;
+            }
             let _ = w.join();
         }
     }

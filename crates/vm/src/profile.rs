@@ -34,7 +34,7 @@ use crate::bytecode::Op;
 use crate::fiber::Frame;
 
 /// Number of opcode kinds (the `Op` enum's variant count).
-pub const OPCODE_COUNT: usize = 27;
+pub const OPCODE_COUNT: usize = 28;
 
 /// Display names, indexed by [`opcode_index`].
 pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
@@ -65,6 +65,7 @@ pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "pop-handlers",
     "push-restart",
     "pop-restarts",
+    "take-local",
 ];
 
 /// Dense index of an opcode into the counter array.
@@ -97,8 +98,32 @@ pub(crate) fn opcode_index(op: &Op) -> usize {
         Op::PopHandlers(_) => 24,
         Op::PushRestart { .. } => 25,
         Op::PopRestarts(_) => 26,
+        Op::TakeLocal(_) => 27,
+        // Fused superinstructions are invisible to the profiler: the
+        // interpreter counts their constituents individually (the first
+        // via this mapping at fetch, the second inside the fused arm),
+        // keeping counts bit-identical with `GVM_NO_FUSE=1`.
+        Op::LoadLocal2(..) | Op::LoadLocalConst(..) | Op::LoadLocalCall(..) => IDX_LOAD_LOCAL,
+        Op::GlobalLocal(..) | Op::GlobalLocal2Call(..) | Op::GlobalLocalConstCall(..) => {
+            IDX_LOAD_GLOBAL
+        }
+        Op::ConstCall(..) => IDX_CONST,
+        Op::CallBranchFalse(..) => IDX_CALL,
+        Op::DupStore(..) => IDX_DUP,
+        Op::PopJump(..) => IDX_POP,
     }
 }
+
+// Constituent indices the fused interpreter arms count directly.
+pub(crate) const IDX_CONST: usize = 0;
+pub(crate) const IDX_POP: usize = 3;
+pub(crate) const IDX_DUP: usize = 4;
+pub(crate) const IDX_LOAD_LOCAL: usize = 5;
+pub(crate) const IDX_STORE_LOCAL: usize = 6;
+pub(crate) const IDX_LOAD_GLOBAL: usize = 8;
+pub(crate) const IDX_JUMP: usize = 11;
+pub(crate) const IDX_JUMP_IF_FALSE: usize = 12;
+pub(crate) const IDX_CALL: usize = 14;
 
 /// Per-function accumulators. One per (program id, chunk index); shared
 /// across all fibers and threads of the owning VM.
@@ -134,6 +159,12 @@ pub struct VmProfileSnapshot {
     /// Folded call stacks (`root;child;leaf` → exclusive nanos), sorted
     /// by path.
     pub folded: Vec<(String, u64)>,
+    /// Adjacent dynamic opcode pairs `(first, second, count)` — the data
+    /// behind `gozer-repl profile --top-pairs` and the fusion pair
+    /// table. Only nonzero pairs, sorted by name. The pair stream is
+    /// built from *constituent* opcodes, so it is identical fused vs
+    /// unfused.
+    pub pairs: Vec<(String, String, u64)>,
 }
 
 /// The per-VM profiler. Always present on a [`crate::Gvm`]; disabled by
@@ -141,6 +172,9 @@ pub struct VmProfileSnapshot {
 pub struct VmProfiler {
     enabled: AtomicBool,
     opcodes: [AtomicU64; OPCODE_COUNT],
+    /// Dense `OPCODE_COUNT × OPCODE_COUNT` matrix of adjacent dynamic
+    /// pairs, row = first opcode of the pair.
+    pairs: Vec<AtomicU64>,
     fns: RwLock<HashMap<(u64, u32), Arc<FnStat>>>,
     folded: Mutex<HashMap<Arc<str>, u64>>,
 }
@@ -150,6 +184,9 @@ impl Default for VmProfiler {
         VmProfiler {
             enabled: AtomicBool::new(false),
             opcodes: std::array::from_fn(|_| AtomicU64::new(0)),
+            pairs: std::iter::repeat_with(|| AtomicU64::new(0))
+                .take(OPCODE_COUNT * OPCODE_COUNT)
+                .collect(),
             fns: RwLock::new(HashMap::new()),
             folded: Mutex::new(HashMap::new()),
         }
@@ -173,6 +210,9 @@ impl VmProfiler {
         for c in &self.opcodes {
             c.store(0, Ordering::Relaxed);
         }
+        for c in &self.pairs {
+            c.store(0, Ordering::Relaxed);
+        }
         self.fns.write().clear();
         self.folded.lock().clear();
     }
@@ -188,6 +228,7 @@ impl VmProfiler {
             prof: self,
             stack: Vec::with_capacity(frames.len().max(8)),
             local_folded: HashMap::new(),
+            prev_op: None,
         };
         scope.seed(frames);
         Some(scope)
@@ -241,10 +282,21 @@ impl VmProfiler {
             .map(|(p, w)| (p.to_string(), *w))
             .collect();
         folded.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut pairs: Vec<(String, String, u64)> = Vec::new();
+        for a in 0..OPCODE_COUNT {
+            for b in 0..OPCODE_COUNT {
+                let c = self.pairs[a * OPCODE_COUNT + b].load(Ordering::Relaxed);
+                if c > 0 {
+                    pairs.push((OPCODE_NAMES[a].to_string(), OPCODE_NAMES[b].to_string(), c));
+                }
+            }
+        }
+        pairs.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
         VmProfileSnapshot {
             opcodes,
             functions,
             folded,
+            pairs,
         }
     }
 }
@@ -269,13 +321,29 @@ pub(crate) struct ProfScope<'p> {
     /// hot recursive function costs an atomic add per return, not a
     /// global map lock.
     local_folded: HashMap<Arc<str>, u64>,
+    /// Previous *constituent* opcode index, for the adjacent-pair
+    /// matrix. Per-activation (resets at scope creation), so the pair
+    /// stream is a pure function of the constituent opcode stream and
+    /// identical fused vs unfused.
+    prev_op: Option<usize>,
 }
 
 impl<'p> ProfScope<'p> {
     /// Count one executed opcode.
     #[inline]
-    pub(crate) fn count_op(&self, op: &Op) {
-        self.prof.opcodes[opcode_index(op)].fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn count_op(&mut self, op: &Op) {
+        self.count_idx(opcode_index(op));
+    }
+
+    /// Count one executed constituent by dense index — used by the
+    /// fused interpreter arms to credit their second constituent.
+    #[inline]
+    pub(crate) fn count_idx(&mut self, idx: usize) {
+        self.prof.opcodes[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(prev) = self.prev_op {
+            self.prof.pairs[prev * OPCODE_COUNT + idx].fetch_add(1, Ordering::Relaxed);
+        }
+        self.prev_op = Some(idx);
     }
 
     /// Mirror the current frame stack (activation entry and
@@ -384,7 +452,7 @@ mod tests {
     fn opcode_index_is_dense_and_total() {
         // Every variant maps inside the table; spot-check both ends.
         assert_eq!(opcode_index(&Op::Const(0)), 0);
-        assert_eq!(opcode_index(&Op::PopRestarts(1)), OPCODE_COUNT - 1);
+        assert_eq!(opcode_index(&Op::TakeLocal(0)), OPCODE_COUNT - 1);
         assert_eq!(OPCODE_NAMES.len(), OPCODE_COUNT);
     }
 

@@ -90,6 +90,38 @@ impl NativeOutcome {
 
 type NativeImpl = dyn Fn(&mut NativeCtx<'_>, Vec<Value>) -> VmResult<NativeOutcome> + Send + Sync;
 
+/// Two-integer fast-path discriminant for the hottest arithmetic and
+/// comparison natives. The interpreter's `Call` arm inlines these when
+/// both arguments are `Value::Int`, skipping argument vectors, future
+/// forcing (an `Int` is never a future) and the dynamic dispatch — with
+/// exactly the generic native's semantics. Anything else (other arities,
+/// floats, overflow) falls through to the registered implementation.
+///
+/// The discriminant lives on the [`NativeFn`] *value*, not on the global
+/// name, so rebinding e.g. `+` to a user function disables the fast path
+/// naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fast2 {
+    /// `(+ a b)`
+    Add,
+    /// `(- a b)`
+    Sub,
+    /// `(* a b)`
+    Mul,
+    /// `(< a b)`
+    Lt,
+    /// `(> a b)`
+    Gt,
+    /// `(<= a b)`
+    Le,
+    /// `(>= a b)`
+    Ge,
+    /// `(= a b)`
+    NumEq,
+    /// `(/= a b)`
+    NumNe,
+}
+
 /// A native (Rust-implemented) function value.
 pub struct NativeFn {
     /// Global name the function was registered under; used by the printer
@@ -100,6 +132,9 @@ pub struct NativeFn {
     /// library forces it. Raw natives (`touch`, `future-done?`) receive
     /// the future object itself.
     pub raw: bool,
+    /// Two-int fast path the interpreter may take instead of `func`; set
+    /// only by the arithmetic installer.
+    pub fast2: Option<Fast2>,
     /// Implementation.
     pub func: Arc<NativeImpl>,
 }
@@ -113,6 +148,22 @@ impl NativeFn {
         Value::Func(Arc::new(NativeFn {
             name: name.to_string(),
             raw: false,
+            fast2: None,
+            func: Arc::new(f),
+        }))
+    }
+
+    /// Like [`value`](Self::value) with a [`Fast2`] fast path the
+    /// interpreter may inline for two-`Int` calls.
+    pub fn value_fast2(
+        name: &str,
+        fast2: Fast2,
+        f: impl Fn(&mut NativeCtx<'_>, Vec<Value>) -> VmResult<NativeOutcome> + Send + Sync + 'static,
+    ) -> Value {
+        Value::Func(Arc::new(NativeFn {
+            name: name.to_string(),
+            raw: false,
+            fast2: Some(fast2),
             func: Arc::new(f),
         }))
     }
@@ -126,6 +177,7 @@ impl NativeFn {
         Value::Func(Arc::new(NativeFn {
             name: name.to_string(),
             raw: true,
+            fast2: None,
             func: Arc::new(f),
         }))
     }

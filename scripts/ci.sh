@@ -76,6 +76,11 @@ run make fuzz-smoke
 
 run make scale-smoke
 
+# GVM interpreter perf gate: smoke-mode gvm_perf, full vs GVM_OPT=off,
+# with a deliberately loose minimum-speedup assertion (catches "fast
+# paths wired off", not machine variance) and a JSON shape check.
+run make gvm-smoke
+
 # Store smoke: the production-day bench (cluster slice + the
 # FileStore-vs-LogStore saves/sec replay) with its JSON shape check and
 # the fsync-amortization assertion.

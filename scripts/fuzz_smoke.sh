@@ -19,10 +19,10 @@ export FUZZ_ITERS
 # (POSIX sh has no built-in timeout; coreutils timeout is available.)
 LIMIT="${FUZZ_TIMEOUT:-600}"
 
-for target in reader compiler serial_state serial_delta log_replay frame_decode; do
+for target in reader compiler serial_state serial_delta log_replay frame_decode bytecode; do
     echo "+ fuzz $target ($FUZZ_ITERS iterations)"
     timeout "$LIMIT" "$CARGO" run --release $OFFLINE -q -p gozer-fuzz --bin "$target" \
         || { echo "fuzz-smoke: $target FAILED (panic, abort, or ${LIMIT}s hang)" >&2; exit 1; }
 done
 
-echo "fuzz-smoke: OK ($FUZZ_ITERS iterations x 6 targets, 0 findings)"
+echo "fuzz-smoke: OK ($FUZZ_ITERS iterations x 7 targets, 0 findings)"

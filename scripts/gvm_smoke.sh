@@ -1,0 +1,36 @@
+#!/bin/sh
+# GVM interpreter perf gate: run the gvm_perf workloads (the
+# interpreter-bound cores of gvm_microbench + listing1_sum_squares) in
+# smoke mode, twice — full optimization vs GVM_OPT=off — and require a
+# minimum speedup on every interpreter-bound workload, plus a shape
+# check on the JSON report.
+#
+# The committed BENCH_gvm.json baseline comes from the full-size run:
+#   cargo run --release -p gozer-bench --bin gvm_perf -- --compare --json BENCH_gvm.json
+#
+# The smoke threshold is deliberately far below the committed baseline
+# speedups: it exists to catch "someone turned the fast paths off" (a
+# ~1.0x reading), not to police machine-to-machine variance.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CARGO="${CARGO:-cargo}"
+OFFLINE="${CARGO_OFFLINE:---offline}"
+MIN_SPEEDUP="${GVM_MIN_SPEEDUP:-1.3}"
+
+OUT="${TMPDIR:-/tmp}/gozer-gvm-smoke.$$"
+mkdir -p "$OUT"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "+ gvm_perf --compare --min-speedup $MIN_SPEEDUP (smoke)"
+BENCH_SMOKE=1 "$CARGO" run --release $OFFLINE -q -p gozer-bench --bin gvm_perf -- \
+    --compare --min-speedup "$MIN_SPEEDUP" --json "$OUT/gvm.json"
+
+for key in '"schema"' '"full"' '"off"' '"speedup_full_vs_off"' '"fib"' '"loop_sum"' \
+    '"loc_sum_squares_256"' '"par_sum_squares_256"' '"yield_resume_depth50"'; do
+    grep -q "$key" "$OUT/gvm.json" \
+        || { echo "gvm-smoke: $key missing from gvm.json" >&2; exit 1; }
+done
+
+echo "gvm-smoke: OK (worst interpreter-bound speedup >= ${MIN_SPEEDUP}x)"
